@@ -1,0 +1,239 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md: the
+// paper's skew-factor sweep (Sec. III-B uses 0.5/1.0/1.5 and reports 1.5),
+// the receiver matching-cost model, the eager/rendezvous threshold, the
+// machine noise model, and the PAP-aware extension algorithms.
+package collsel_test
+
+import (
+	"testing"
+
+	"collsel"
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+	"collsel/internal/netmodel"
+	_ "collsel/internal/papaware" // register the PAP-aware extensions
+	"collsel/internal/pattern"
+)
+
+// --- Skew factor sweep (paper Sec. III-B) -------------------------------------
+
+func benchSkewFactor(b *testing.B, factor float64) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		m, _, err := expt.BuildMatrix(expt.GridConfig{
+			Platform:      netmodel.SimCluster(),
+			Procs:         procs,
+			Algorithms:    expt.SimGridSet(coll.Reduce),
+			Shapes:        pattern.ArtificialShapes(),
+			MsgBytes:      1024,
+			Policy:        expt.SkewAvgRuntime,
+			Factor:        factor,
+			Seed:          int64(i + 1),
+			PerfectClocks: true,
+			NoNoise:       true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells, err := m.OptimizationPotential()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper reports that larger skew factors expose more potential:
+		// measure the mean gain of the pattern-aware choice.
+		var gain float64
+		for _, c := range cells[1:] {
+			gain += 1 - c.Ratio
+		}
+		b.ReportMetric(gain/float64(len(cells)-1)*100, "mean-gain-%")
+	}
+}
+
+func BenchmarkAblation_SkewFactor05(b *testing.B) { benchSkewFactor(b, 0.5) }
+func BenchmarkAblation_SkewFactor10(b *testing.B) { benchSkewFactor(b, 1.0) }
+func BenchmarkAblation_SkewFactor15(b *testing.B) { benchSkewFactor(b, 1.5) }
+
+// --- Matching-cost model --------------------------------------------------------
+
+func benchMatchingCost(b *testing.B, matchNs float64) {
+	procs := benchProcs()
+	pl := netmodel.Galileo100()
+	pl.MatchNsPerEntry = matchNs
+	al, _ := collsel.AlgorithmByID(collsel.Alltoall, 1) // basic linear: long queues
+	count, elemSize := expt.SizeToCount(32768)
+	for i := 0; i < b.N; i++ {
+		res, err := collsel.RunBenchmark(collsel.BenchConfig{
+			Platform:  pl,
+			Procs:     procs,
+			Algorithm: al,
+			Count:     count,
+			ElemSize:  elemSize,
+			Reps:      2,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LastDelay.Mean/1000, "dhat-us")
+	}
+}
+
+func BenchmarkAblation_MatchCostOff(b *testing.B)   { benchMatchingCost(b, 0) }
+func BenchmarkAblation_MatchCostPaper(b *testing.B) { benchMatchingCost(b, 70) }
+func BenchmarkAblation_MatchCostHigh(b *testing.B)  { benchMatchingCost(b, 200) }
+
+// --- Eager/rendezvous threshold ----------------------------------------------------
+
+func benchEagerThreshold(b *testing.B, threshold int) {
+	procs := benchProcs()
+	pl := netmodel.Hydra()
+	pl.EagerThresholdBytes = threshold
+	al, _ := collsel.AlgorithmByID(collsel.Alltoall, 2)
+	count, elemSize := expt.SizeToCount(32768)
+	pat := pattern.Generate(pattern.LastDelayed, procs, 500_000, 1)
+	for i := 0; i < b.N; i++ {
+		res, err := collsel.RunBenchmark(collsel.BenchConfig{
+			Platform:  pl,
+			Procs:     procs,
+			Algorithm: al,
+			Count:     count,
+			ElemSize:  elemSize,
+			Pattern:   pat,
+			Reps:      2,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LastDelay.Mean/1000, "dhat-us")
+	}
+}
+
+func BenchmarkAblation_EagerAlways(b *testing.B) { benchEagerThreshold(b, 1<<30) }
+func BenchmarkAblation_EagerPaper(b *testing.B)  { benchEagerThreshold(b, 8192) }
+func BenchmarkAblation_RndvAlways(b *testing.B)  { benchEagerThreshold(b, 0) }
+
+// --- Noise model on/off: FT arrival skew ------------------------------------------
+
+func benchFTNoise(b *testing.B, noNoise bool) {
+	procs := benchProcs()
+	al, _ := collsel.AlgorithmByID(collsel.Alltoall, 2)
+	for i := 0; i < b.N; i++ {
+		tr := collsel.NewTracer(procs)
+		_, err := collsel.RunFT(collsel.FTConfig{
+			Platform:      collsel.Galileo100(),
+			Procs:         procs,
+			Class:         benchClass(procs),
+			AlltoallAlg:   al,
+			Tracer:        tr,
+			Seed:          int64(i + 1),
+			NoNoise:       noNoise,
+			PerfectClocks: noNoise,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scen, err := tr.Scenario("s", collsel.Alltoall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(scen.MaxSkewNs())/1000, "ft-skew-us")
+	}
+}
+
+func BenchmarkAblation_FTNoiseOn(b *testing.B)  { benchFTNoise(b, false) }
+func BenchmarkAblation_FTNoiseOff(b *testing.B) { benchFTNoise(b, true) }
+
+// --- PAP-aware extensions vs. Table II under skew ------------------------------------
+
+func benchPAPReduce(b *testing.B, name string) {
+	procs := benchProcs()
+	al, ok := collsel.AlgorithmByName(collsel.Reduce, name)
+	if !ok {
+		b.Fatalf("algorithm %s not registered", name)
+	}
+	count, elemSize := expt.SizeToCount(65536)
+	pat := pattern.Generate(pattern.Random, procs, 1_000_000, 5)
+	for i := 0; i < b.N; i++ {
+		res, err := collsel.RunBenchmark(collsel.BenchConfig{
+			Platform:  collsel.Hydra(),
+			Procs:     procs,
+			Algorithm: al,
+			Count:     count,
+			ElemSize:  elemSize,
+			Pattern:   pat,
+			Reps:      2,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LastDelay.Mean/1000, "dhat-us")
+	}
+}
+
+func BenchmarkAblation_PAPReduceArrival(b *testing.B) { benchPAPReduce(b, "arrival_linear") }
+func BenchmarkAblation_PAPReduceHier(b *testing.B)    { benchPAPReduce(b, "hierarchical_arrival") }
+func BenchmarkAblation_ReduceLinearBase(b *testing.B) { benchPAPReduce(b, "linear") }
+func BenchmarkAblation_ReduceBinomBase(b *testing.B)  { benchPAPReduce(b, "binomial") }
+
+// --- Selection strategies head to head ----------------------------------------------
+
+func BenchmarkAblation_StrategyComparison(b *testing.B) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		cmp, err := expt.CompareStrategies(expt.GridConfig{
+			Platform:   netmodel.Galileo100(),
+			Procs:      procs,
+			Algorithms: collsel.TableII(collsel.Alltoall),
+			Shapes:     pattern.ArtificialShapes(),
+			MsgBytes:   32768,
+			Policy:     expt.SkewAvgRuntime,
+			Reps:       2,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Improvement of the robust pick over the other two strategies, in
+		// expected per-call time across patterns.
+		var def, nod, rob float64
+		for _, o := range cmp.Outcomes {
+			switch o.Strategy {
+			case expt.StrategyDefault:
+				def = o.MeanNs
+			case expt.StrategyNoDelay:
+				nod = o.MeanNs
+			case expt.StrategyRobust:
+				rob = o.MeanNs
+			}
+		}
+		b.ReportMetric((def/rob-1)*100, "vs-default-%")
+		b.ReportMetric((nod/rob-1)*100, "vs-nodelay-%")
+	}
+}
+
+// --- Non-blocking collectives under noise (Widener et al., Sec. VI) ----------------
+
+func benchFTBlockingMode(b *testing.B, nonblocking bool) {
+	procs := benchProcs()
+	al, _ := collsel.AlgorithmByID(collsel.Alltoall, 2)
+	for i := 0; i < b.N; i++ {
+		res, err := collsel.RunFT(collsel.FTConfig{
+			Platform:            collsel.Galileo100(),
+			Procs:               procs,
+			Seed:                int64(i + 1),
+			Class:               benchClass(procs),
+			AlltoallAlg:         al,
+			NonBlockingAlltoall: nonblocking,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RuntimeSec*1000, "ft-ms")
+		b.ReportMetric(res.CommFraction*100, "comm-%")
+	}
+}
+
+func BenchmarkAblation_FTBlocking(b *testing.B)    { benchFTBlockingMode(b, false) }
+func BenchmarkAblation_FTNonBlocking(b *testing.B) { benchFTBlockingMode(b, true) }

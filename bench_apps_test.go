@@ -1,0 +1,38 @@
+// Application-level benchmarks: the DL-training proxy (extension study)
+// across Allreduce algorithms, reporting simulated step time and
+// communication share.
+package collsel_test
+
+import (
+	"testing"
+
+	"collsel"
+)
+
+func benchDLTraining(b *testing.B, algName string) {
+	procs := benchProcs()
+	al, ok := collsel.AlgorithmByName(collsel.Allreduce, algName)
+	if !ok {
+		b.Fatalf("allreduce %q not registered", algName)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := collsel.RunTraining(collsel.TrainConfig{
+			Platform:     collsel.Discoverer(),
+			Procs:        procs,
+			Seed:         int64(i + 1),
+			Iterations:   10,
+			GradBytes:    4 << 20,
+			AllreduceAlg: al,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StepSecMean*1000, "step-ms")
+		b.ReportMetric(res.CommFraction*100, "comm-%")
+	}
+}
+
+func BenchmarkApp_DLTrainingRecDbl(b *testing.B) { benchDLTraining(b, "recursive_doubling") }
+func BenchmarkApp_DLTrainingRing(b *testing.B)   { benchDLTraining(b, "ring") }
+func BenchmarkApp_DLTrainingRaben(b *testing.B)  { benchDLTraining(b, "rabenseifner") }
+func BenchmarkApp_DLTrainingTwoLvl(b *testing.B) { benchDLTraining(b, "two_level") }

@@ -1,0 +1,317 @@
+// Benchmarks regenerating every table and figure of the paper, one bench
+// per experiment. Each iteration executes the figure's full experiment
+// driver at a laptop-tractable scale (override with COLLSEL_BENCH_PROCS;
+// the paper's own scale is 1024 = 32x32 and can be reproduced with the
+// cmd/ tools).
+//
+// The interesting output of these benchmarks is not ns/op (that is
+// simulator wall time) but the custom metrics: simulated collective
+// runtimes, selection outcomes and prediction errors, reported via
+// b.ReportMetric. The textual figures themselves are produced by the cmd/
+// tools (see EXPERIMENTS.md).
+package collsel_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"collsel"
+	"collsel/internal/apps/ft"
+	"collsel/internal/coll"
+	"collsel/internal/core"
+	"collsel/internal/expt"
+	"collsel/internal/netmodel"
+)
+
+// benchProcs returns the rank count for benchmark experiments.
+func benchProcs() int {
+	if s := os.Getenv("COLLSEL_BENCH_PROCS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 1 {
+			return v
+		}
+	}
+	return 64
+}
+
+// benchClass returns an FT geometry that preserves the paper's 32768 B
+// per-pair Alltoall message size at the chosen rank count.
+func benchClass(procs int) ft.Class {
+	// 16*N/p^2 = 32768  =>  N = 2048 * p^2
+	n := 2048 * procs * procs
+	nx := 256
+	for nx*nx*nx < n {
+		nx *= 2
+	}
+	// Pick NY, NZ to hit N exactly with power-of-two factors.
+	ny, nz := nx, nx
+	for nx*ny*nz > n {
+		if nz > 1 {
+			nz /= 2
+		} else {
+			ny /= 2
+		}
+	}
+	return ft.Class{Name: "bench", NX: nx, NY: ny, NZ: nz, Iterations: 6}
+}
+
+// --- Fig. 1: FT arrival-pattern trace ----------------------------------------
+
+func BenchmarkFig1_FTTraceGalileo100(b *testing.B) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		tr := collsel.NewTracer(procs)
+		al, _ := collsel.AlgorithmByID(collsel.Alltoall, 2)
+		res, err := collsel.RunFT(collsel.FTConfig{
+			Platform:    collsel.Galileo100(),
+			Procs:       procs,
+			Class:       benchClass(procs),
+			AlltoallAlg: al,
+			Tracer:      tr,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scen, err := tr.Scenario("ft_scenario", collsel.Alltoall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(scen.MaxSkewNs())/1000, "max-skew-us")
+		b.ReportMetric(res.RuntimeSec*1000, "ft-ms")
+	}
+}
+
+// --- Fig. 4: simulation study -------------------------------------------------
+
+func benchFig4(b *testing.B, c coll.Collective) {
+	procs := benchProcs()
+	sizes := []int{8, 1024, 65536}
+	for i := 0; i < b.N; i++ {
+		res, err := expt.RunFig4(expt.Fig4Config{
+			Collective: c,
+			Procs:      procs,
+			MsgSizes:   sizes,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Metric: how many (pattern,size) cells pick a different algorithm
+		// than the no-delay benchmark would (the optimization potential).
+		flips, cells := 0, 0
+		var gain float64
+		for _, s := range res.Sizes {
+			winner := s.Cells[0].Best.Name
+			for _, cell := range s.Cells[1:] {
+				cells++
+				if cell.Best.Name != winner {
+					flips++
+				}
+				gain += 1 - cell.Ratio
+			}
+		}
+		b.ReportMetric(float64(flips)/float64(cells)*100, "winner-flips-%")
+		b.ReportMetric(gain/float64(cells)*100, "mean-gain-%")
+	}
+}
+
+func BenchmarkFig4_Reduce(b *testing.B)    { benchFig4(b, coll.Reduce) }
+func BenchmarkFig4_Allreduce(b *testing.B) { benchFig4(b, coll.Allreduce) }
+func BenchmarkFig4_Alltoall(b *testing.B)  { benchFig4(b, coll.Alltoall) }
+
+// --- Fig. 5: real-machine pattern impact ---------------------------------------
+
+func benchFig5(b *testing.B, c coll.Collective, sizes []int) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		res, err := expt.RunFig5(expt.Fig5Config{
+			Platform:   netmodel.Hydra(),
+			Collective: c,
+			Procs:      procs,
+			MsgSizes:   sizes,
+			Reps:       3,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Metric: fraction of pattern rows whose "good set" differs from the
+		// no-delay row's good set (how misleading the synchronized bench is).
+		differing, rows := 0, 0
+		for _, s := range res.Sizes {
+			base := s.Good[0]
+			for _, g := range s.Good[1:] {
+				rows++
+				for j := range g {
+					if g[j] != base[j] {
+						differing++
+						break
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(differing)/float64(rows)*100, "changed-goodset-%")
+	}
+}
+
+func BenchmarkFig5_Reduce(b *testing.B)    { benchFig5(b, coll.Reduce, []int{8, 1024, 1048576}) }
+func BenchmarkFig5_Allreduce(b *testing.B) { benchFig5(b, coll.Allreduce, []int{8, 1024, 1048576}) }
+func BenchmarkFig5_Alltoall(b *testing.B)  { benchFig5(b, coll.Alltoall, []int{8, 1024, 1048576}) }
+
+// --- Fig. 6: robustness classes --------------------------------------------------
+
+func benchFig6(b *testing.B, c coll.Collective) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		res, err := expt.RunFig6(expt.Fig6Config{
+			Platform:   netmodel.Hydra(),
+			Collective: c,
+			Procs:      procs,
+			MsgSizes:   []int{8, 1024, 1048576},
+			Reps:       3,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		faster, slower, total := 0, 0, 0
+		for _, s := range res.Sizes {
+			for _, row := range s.Cells {
+				for _, cell := range row {
+					total++
+					switch cell.Class {
+					case core.Faster:
+						faster++
+					case core.Slower:
+						slower++
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(faster)/float64(total)*100, "green-%")
+		b.ReportMetric(float64(slower)/float64(total)*100, "red-%")
+	}
+}
+
+func BenchmarkFig6_Reduce(b *testing.B)    { benchFig6(b, coll.Reduce) }
+func BenchmarkFig6_Allreduce(b *testing.B) { benchFig6(b, coll.Allreduce) }
+func BenchmarkFig6_Alltoall(b *testing.B)  { benchFig6(b, coll.Alltoall) }
+
+// --- Figs. 7-9: the FT case study -------------------------------------------------
+
+func benchFTStudy(b *testing.B, pl *netmodel.Platform) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		res, err := expt.RunFTStudy(expt.FTStudyConfig{
+			Platforms: []*netmodel.Platform{pl},
+			Procs:     procs,
+			Class:     benchClass(procs),
+			Runs:      2,
+			Reps:      2,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := res.Machines[0]
+		// Fig. 7 metric: rank correlation between the FT runtimes and the
+		// no-delay micro-benchmark would be 1.0 if the synchronized bench
+		// were a faithful predictor. Report the prediction error of both
+		// estimators (Fig. 9): mean |predicted-actual|/actual.
+		var errND, errAvg float64
+		for j := range ms.Algorithms {
+			a := ms.FTRuntimeSec[j]
+			errND += abs(ms.Predictions[j].NoDelaySec-a) / a
+			errAvg += abs(ms.Predictions[j].AvgSec-a) / a
+		}
+		n := float64(len(ms.Algorithms))
+		b.ReportMetric(errND/n*100, "pred-err-nodelay-%")
+		b.ReportMetric(errAvg/n*100, "pred-err-avg-%")
+		b.ReportMetric(float64(ms.MaxTracedSkewNs)/1000, "traced-skew-us")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func BenchmarkFig789_FTStudyHydra(b *testing.B)      { benchFTStudy(b, netmodel.Hydra()) }
+func BenchmarkFig789_FTStudyGalileo100(b *testing.B) { benchFTStudy(b, netmodel.Galileo100()) }
+func BenchmarkFig789_FTStudyDiscoverer(b *testing.B) { benchFTStudy(b, netmodel.Discoverer()) }
+
+// --- Selection workflow (the paper's contribution, end to end) ----------------------
+
+func BenchmarkSelection_Alltoall32KiB(b *testing.B) {
+	procs := benchProcs()
+	for i := 0; i < b.N; i++ {
+		sel, err := collsel.Select(collsel.SelectConfig{
+			Machine:    collsel.Galileo100(),
+			Collective: collsel.Alltoall,
+			MsgBytes:   32768,
+			Procs:      procs,
+			Reps:       2,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		changed := 0.0
+		if sel.Recommended.Name != sel.ConventionalChoice.Name {
+			changed = 1.0
+		}
+		b.ReportMetric(changed, "selection-changed")
+		b.ReportMetric(sel.Ranking[0].Score, "best-score")
+	}
+}
+
+// --- Per-algorithm micro-costs (Table II catalogue) ----------------------------------
+
+func benchOneCollectiveCall(b *testing.B, c coll.Collective, id int, msgBytes int) {
+	procs := benchProcs()
+	al, ok := collsel.AlgorithmByID(c, id)
+	if !ok {
+		b.Fatalf("no algorithm %v/%d", c, id)
+	}
+	count, elemSize := expt.SizeToCount(msgBytes)
+	for i := 0; i < b.N; i++ {
+		res, err := collsel.RunBenchmark(collsel.BenchConfig{
+			Platform:      collsel.SimCluster(),
+			Procs:         procs,
+			Algorithm:     al,
+			Count:         count,
+			ElemSize:      elemSize,
+			Reps:          1,
+			PerfectClocks: true,
+			NoNoise:       true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LastDelay.Mean/1000, "dhat-us")
+	}
+}
+
+func BenchmarkAlg_Reduce_Binomial_1KiB(b *testing.B) { benchOneCollectiveCall(b, coll.Reduce, 5, 1024) }
+func BenchmarkAlg_Reduce_InOrderBin_1KiB(b *testing.B) {
+	benchOneCollectiveCall(b, coll.Reduce, 6, 1024)
+}
+func BenchmarkAlg_Allreduce_RecDbl_1KiB(b *testing.B) {
+	benchOneCollectiveCall(b, coll.Allreduce, 3, 1024)
+}
+func BenchmarkAlg_Allreduce_Ring_1MiB(b *testing.B) {
+	benchOneCollectiveCall(b, coll.Allreduce, 4, 1048576)
+}
+func BenchmarkAlg_Alltoall_Linear_32KiB(b *testing.B) {
+	benchOneCollectiveCall(b, coll.Alltoall, 1, 32768)
+}
+func BenchmarkAlg_Alltoall_Pairwise_32KiB(b *testing.B) {
+	benchOneCollectiveCall(b, coll.Alltoall, 2, 32768)
+}
+func BenchmarkAlg_Alltoall_Bruck_8B(b *testing.B) { benchOneCollectiveCall(b, coll.Alltoall, 3, 8) }
+func BenchmarkAlg_Alltoall_LinearSync_32KiB(b *testing.B) {
+	benchOneCollectiveCall(b, coll.Alltoall, 4, 32768)
+}

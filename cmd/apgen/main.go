@@ -1,0 +1,52 @@
+// Command apgen generates arrival-pattern files: one line per process with
+// that process's skew in nanoseconds (the format consumed by the
+// micro-benchmark harness, cf. Sec. III-B of the paper).
+//
+// Usage:
+//
+//	apgen -shape last_delayed -procs 1024 -skew 1500000 -out last.pattern
+//	apgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/pattern"
+)
+
+func main() {
+	shape := flag.String("shape", "ascending", "pattern shape (see -list)")
+	procs := flag.Int("procs", 1024, "number of processes")
+	skew := flag.Int64("skew", 1_000_000, "maximum process skew in ns")
+	seed := flag.Int64("seed", 1, "seed for random shapes")
+	out := flag.String("out", "", "output file (default: stdout)")
+	list := flag.Bool("list", false, "list available shapes and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range pattern.AllShapes() {
+			fmt.Println(s)
+		}
+		return
+	}
+	sh, ok := pattern.ShapeByName(*shape)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "apgen: unknown shape %q (try -list)\n", *shape)
+		os.Exit(2)
+	}
+	pat := pattern.Generate(sh, *procs, *skew, *seed)
+	if *out == "" {
+		fmt.Printf("# arrival pattern %q, %d processes, max skew %d ns\n", pat.Name, pat.Size(), pat.MaxSkewNs())
+		for _, d := range pat.DelaysNs {
+			fmt.Println(d)
+		}
+		return
+	}
+	if err := pat.WriteFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "apgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d processes, max skew %d ns)\n", *out, pat.Size(), pat.MaxSkewNs())
+}

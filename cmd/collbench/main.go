@@ -1,0 +1,59 @@
+// Command collbench reproduces the paper's Fig. 5 micro-benchmark study:
+// runtimes (last delay) of every Table II algorithm of a collective under a
+// set of distinct arrival patterns on a modelled production machine, with
+// the within-5%-of-fastest classification.
+//
+// Usage:
+//
+//	collbench -coll reduce -machine Hydra -procs 256
+//	collbench -coll alltoall -machine Galileo100 -sizes 8,1024,1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/cliutil"
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+)
+
+func main() {
+	collName := flag.String("coll", "reduce", "collective: reduce, allreduce, alltoall")
+	machine := flag.String("machine", "Hydra", "machine model: Hydra, Galileo100, Discoverer, SimCluster")
+	procs := flag.Int("procs", 256, "number of processes (paper: 1024 = 32x32)")
+	sizes := flag.String("sizes", "", "comma-separated message sizes in bytes (default: 8,1024,1048576)")
+	reps := flag.Int("reps", 5, "benchmark repetitions per cell")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	c, ok := coll.CollectiveByName(*collName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "collbench: unknown collective %q\n", *collName)
+		os.Exit(2)
+	}
+	pl, err := cliutil.Machine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
+		os.Exit(2)
+	}
+	msgSizes, err := cliutil.ParseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := expt.RunFig5(expt.Fig5Config{
+		Platform:   pl,
+		Collective: c,
+		Procs:      *procs,
+		MsgSizes:   msgSizes,
+		Reps:       *reps,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,72 @@
+// Command ftstudy reproduces the paper's Section V case study (Figs. 1, 7,
+// 8 and 9): run the NAS-FT proxy with every Alltoall algorithm on the
+// modelled machines, trace its arrival patterns, replay them in
+// micro-benchmarks, and compare predicted and actual application runtimes.
+//
+// Usage:
+//
+//	ftstudy                       # all figures, all machines, class C @ 256
+//	ftstudy -fig 8 -machines Hydra
+//	ftstudy -class D -procs 1024  # the paper's own scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/apps/ft"
+	"collsel/internal/cliutil"
+	"collsel/internal/expt"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print: 1, 7, 8 or 9 (0 = all)")
+	machines := flag.String("machines", "", "comma-separated machine list (default: Hydra,Galileo100,Discoverer)")
+	procs := flag.Int("procs", 256, "number of processes")
+	class := flag.String("class", "C", "FT problem class: A, B, C, D")
+	runs := flag.Int("runs", 3, "FT executions per algorithm (paper: 10)")
+	reps := flag.Int("reps", 3, "micro-benchmark repetitions per cell")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	pls, err := cliutil.Machines(*machines)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftstudy: %v\n", err)
+		os.Exit(2)
+	}
+	cl, ok := ft.ClassByName(*class)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ftstudy: unknown class %q\n", *class)
+		os.Exit(2)
+	}
+	res, err := expt.RunFTStudy(expt.FTStudyConfig{
+		Platforms: pls,
+		Procs:     *procs,
+		Class:     cl,
+		Runs:      *runs,
+		Reps:      *reps,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftstudy: %v\n", err)
+		os.Exit(1)
+	}
+	switch *fig {
+	case 1:
+		fmt.Print(res.FormatFig1(""))
+	case 7:
+		fmt.Print(res.FormatFig7())
+	case 8:
+		fmt.Print(res.FormatFig8())
+	case 9:
+		fmt.Print(res.FormatFig9())
+	default:
+		fmt.Print(res.FormatFig1(""))
+		fmt.Println()
+		fmt.Print(res.FormatFig7())
+		fmt.Print(res.FormatFig8())
+		fmt.Println()
+		fmt.Print(res.FormatFig9())
+	}
+}

@@ -1,0 +1,59 @@
+// Command robustness reproduces the paper's Fig. 6 study: how much faster
+// or slower does each collective algorithm get when exposed to an arrival
+// pattern whose magnitude equals the algorithm's own no-delay runtime?
+// Cells at least 25% faster are marked '*' (green in the paper), at least
+// 25% slower '!' (red).
+//
+// Usage:
+//
+//	robustness -coll reduce -machine Hydra -procs 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/cliutil"
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+)
+
+func main() {
+	collName := flag.String("coll", "reduce", "collective: reduce, allreduce, alltoall")
+	machine := flag.String("machine", "Hydra", "machine model")
+	procs := flag.Int("procs", 256, "number of processes (paper: 1024)")
+	sizes := flag.String("sizes", "", "comma-separated message sizes (default: 8,1024,1048576)")
+	reps := flag.Int("reps", 5, "benchmark repetitions per cell")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	c, ok := coll.CollectiveByName(*collName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "robustness: unknown collective %q\n", *collName)
+		os.Exit(2)
+	}
+	pl, err := cliutil.Machine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustness: %v\n", err)
+		os.Exit(2)
+	}
+	msgSizes, err := cliutil.ParseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustness: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := expt.RunFig6(expt.Fig6Config{
+		Platform:   pl,
+		Collective: c,
+		Procs:      *procs,
+		MsgSizes:   msgSizes,
+		Reps:       *reps,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustness: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

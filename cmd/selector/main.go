@@ -1,0 +1,142 @@
+// Command selector is the end-user tool embodying the paper's contribution:
+// it benchmarks every algorithm of a collective under the eight artificial
+// arrival patterns on the chosen machine model and recommends the most
+// robust algorithm — the one with the smallest average normalized runtime
+// across patterns — rather than the winner of the synchronized (no-delay)
+// benchmark alone.
+//
+// Usage:
+//
+//	selector -coll alltoall -machine Galileo100 -size 32768 -procs 256
+//	selector -coll reduce -machine Hydra -size 8 -skew 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/cliutil"
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+	"collsel/internal/pattern"
+	"collsel/internal/table"
+	"collsel/internal/tuning"
+)
+
+func main() {
+	collName := flag.String("coll", "alltoall", "collective: reduce, allreduce, alltoall, bcast, ...")
+	machine := flag.String("machine", "Hydra", "machine model")
+	procs := flag.Int("procs", 256, "number of processes")
+	size := flag.Int("size", 32768, "message size in bytes (per pair for alltoall)")
+	skew := flag.Int64("skew", 0, "fixed max skew in ns (0 = use avg no-delay runtime)")
+	factor := flag.Float64("factor", 1.0, "skew factor when -skew is 0")
+	reps := flag.Int("reps", 5, "benchmark repetitions per cell")
+	seed := flag.Int64("seed", 1, "seed")
+	root := flag.Int("root", 0, "root rank for rooted collectives")
+	save := flag.String("save", "", "append the selection to this tuning-table JSON file")
+	flag.Parse()
+
+	c, ok := coll.CollectiveByName(*collName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "selector: unknown collective %q\n", *collName)
+		os.Exit(2)
+	}
+	pl, err := cliutil.Machine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+		os.Exit(2)
+	}
+	algs := coll.TableII(c)
+	if len(algs) == 0 {
+		algs = coll.Algorithms(c)
+	}
+	policy := expt.SkewAvgRuntime
+	if *skew > 0 {
+		policy = expt.SkewFixed
+	}
+	m, _, err := expt.BuildMatrix(expt.GridConfig{
+		Platform:    pl,
+		Procs:       *procs,
+		Seed:        *seed,
+		Algorithms:  algs,
+		Shapes:      pattern.ArtificialShapes(),
+		MsgBytes:    *size,
+		Root:        *root,
+		Policy:      policy,
+		Factor:      *factor,
+		FixedSkewNs: *skew,
+		Reps:        *reps,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+		os.Exit(1)
+	}
+	choices, err := m.SelectRobust()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+		os.Exit(1)
+	}
+	noDelay, _ := m.NoDelayChoice()
+
+	fmt.Printf("Algorithm selection for %v, %s on %s, %d procs\n\n",
+		c, table.Bytes(*size), pl.Name, *procs)
+	tb := table.New("rank", "algorithm", "robustness score", "no-delay d-hat")
+	nd := m.PatternIndex("no_delay")
+	for i, ch := range choices {
+		j := algIndex(m.Algorithms, ch.Algorithm.Name)
+		tb.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d:%s (%s)", ch.Algorithm.ID, ch.Algorithm.Name, ch.Algorithm.Abbrev),
+			fmt.Sprintf("%.3f", ch.Score),
+			table.Ns(m.ValueNs[nd][j]),
+		)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nrecommended (pattern-robust):    %s\n", choices[0].Algorithm.Name)
+	fmt.Printf("conventional (no-delay fastest): %s\n", noDelay.Name)
+	if cmp, err := expt.CompareStrategiesOn(m); err == nil {
+		fmt.Println()
+		fmt.Print(cmp.Format())
+	}
+	if choices[0].Algorithm.Name != noDelay.Name {
+		fmt.Println("note: the synchronized benchmark would pick a different algorithm;")
+		fmt.Println("      under realistic arrival patterns that choice is expected to underperform.")
+	}
+
+	if *save != "" {
+		tb, err := tuning.Load(*save)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+				os.Exit(1)
+			}
+			tb = &tuning.Table{Machine: pl.Name, Procs: *procs}
+		}
+		rule := tuning.Rule{
+			Collective: c.String(),
+			MinBytes:   *size,
+			MaxBytes:   *size,
+			Algorithm:  choices[0].Algorithm.Name,
+			Score:      choices[0].Score,
+		}
+		if err := tb.Add(rule); err != nil {
+			fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tb.Save(*save); err != nil {
+			fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsaved rule to %s\n", *save)
+	}
+}
+
+func algIndex(algs []coll.Algorithm, name string) int {
+	for i, al := range algs {
+		if al.Name == name {
+			return i
+		}
+	}
+	return 0
+}

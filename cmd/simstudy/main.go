@@ -1,0 +1,52 @@
+// Command simstudy reproduces the paper's Fig. 4 simulation study: for each
+// message size and arrival pattern, which collective algorithm is best, and
+// how much faster is it than the algorithm a synchronized (no-delay)
+// micro-benchmark would have chosen?
+//
+// Usage:
+//
+//	simstudy -coll reduce -procs 1024
+//	simstudy -coll alltoall -procs 256 -sizes 8,1024,32768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/cliutil"
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+)
+
+func main() {
+	collName := flag.String("coll", "reduce", "collective: reduce, allreduce, alltoall, bcast")
+	procs := flag.Int("procs", 256, "number of processes (paper: 1024)")
+	sizes := flag.String("sizes", "", "comma-separated message sizes in bytes (default: 2,16,256,1024,16384,262144,1048576)")
+	factor := flag.Float64("factor", 1.5, "skew factor on the average no-delay runtime")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	c, ok := coll.CollectiveByName(*collName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simstudy: unknown collective %q\n", *collName)
+		os.Exit(2)
+	}
+	msgSizes, err := cliutil.ParseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := expt.RunFig4(expt.Fig4Config{
+		Collective: c,
+		Procs:      *procs,
+		MsgSizes:   msgSizes,
+		Factor:     *factor,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

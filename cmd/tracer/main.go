@@ -1,0 +1,91 @@
+// Command tracer reproduces the paper's Fig. 1: run the FT proxy with the
+// collective tracing library attached, then print each process's average
+// delay relative to the first arrival across all MPI_Alltoall calls, and
+// optionally write the resulting arrival pattern (the FT-Scenario) to a
+// pattern file for replay with collbench/apgen tooling.
+//
+// Usage:
+//
+//	tracer -machine Galileo100 -procs 256
+//	tracer -machine Hydra -out ft_hydra.pattern -sample-every 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collsel/internal/apps/ft"
+	"collsel/internal/cliutil"
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+	"collsel/internal/trace"
+)
+
+func main() {
+	machine := flag.String("machine", "Galileo100", "machine model")
+	procs := flag.Int("procs", 256, "number of processes")
+	class := flag.String("class", "C", "FT problem class")
+	algID := flag.Int("alg", 2, "Alltoall algorithm ID (Table II)")
+	sampleEvery := flag.Int("sample-every", 1, "record every k-th collective call")
+	out := flag.String("out", "", "write the FT-Scenario pattern to this file")
+	gantt := flag.Int("gantt", -1, "render this call number as a per-rank timeline (Fig. 2 style; -1 = off)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	pl, err := cliutil.Machine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+		os.Exit(2)
+	}
+	cl, ok := ft.ClassByName(*class)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracer: unknown class %q\n", *class)
+		os.Exit(2)
+	}
+	al, ok := coll.ByID(coll.Alltoall, *algID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracer: unknown alltoall algorithm %d\n", *algID)
+		os.Exit(2)
+	}
+	tr := trace.New(*procs)
+	tr.SampleEvery = *sampleEvery
+	res, err := ft.Run(ft.Config{
+		Platform:    pl,
+		Procs:       *procs,
+		Seed:        *seed,
+		Class:       cl,
+		AlltoallAlg: al,
+		Tracer:      tr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+		os.Exit(1)
+	}
+	scenario, err := tr.Scenario("ft_scenario", coll.Alltoall)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("FT class %s on %s, %d procs, alltoall=%s: runtime %.3f s, %d alltoall calls traced, per-pair %d B\n",
+		cl.Name, pl.Name, *procs, al.Name, res.RuntimeSec, tr.NumCalls(coll.Alltoall), res.MsgBytesPerPair)
+	fmt.Printf("max observed arrival skew: %d ns\n\n", tr.MaxSkewNs(coll.Alltoall))
+	fmt.Println("avg. process delay across all MPI_Alltoall calls (Fig. 1):")
+	fmt.Print(expt.SparkLine(scenario))
+	if *gantt >= 0 {
+		calls := tr.Calls(coll.Alltoall)
+		if *gantt >= len(calls) {
+			fmt.Fprintf(os.Stderr, "tracer: only %d calls recorded\n", len(calls))
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(trace.Gantt(calls[*gantt], 80, 32))
+	}
+	if *out != "" {
+		if err := scenario.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote FT-Scenario pattern to %s\n", *out)
+	}
+}

@@ -1,0 +1,364 @@
+// Package collsel is an arrival-pattern-aware selection toolkit for MPI
+// collective algorithms, reproducing "MPI Collective Algorithm Selection in
+// the Presence of Process Arrival Patterns" (Salimi Beni, Cosenza, Hunold;
+// IEEE CLUSTER 2024) as a self-contained Go library.
+//
+// Everything runs on a deterministic discrete-event simulation of a
+// hierarchical compute cluster: an MPI-like runtime with eager/rendezvous
+// point-to-point messaging, the Open MPI 4.1.x collective algorithms of the
+// paper's Table II, imperfect per-process clocks with HCA-style
+// synchronization, machine noise models, a PMPI-style collective tracer and
+// an NAS-FT proxy application.
+//
+// The package exposes the high-level workflow:
+//
+//	machine := collsel.Hydra()
+//	sel, err := collsel.Select(collsel.SelectConfig{
+//	    Machine: machine, Collective: collsel.Alltoall,
+//	    MsgBytes: 32768, Procs: 256,
+//	})
+//	fmt.Println("use", sel.Recommended.Name) // robust across arrival patterns
+//
+// and re-exports the underlying building blocks (platforms, patterns,
+// algorithms, the micro-benchmark harness, the measurement matrix and the
+// FT proxy) for finer-grained use; see the examples/ directory.
+package collsel
+
+import (
+	"collsel/internal/apps/dltrain"
+	"collsel/internal/apps/ft"
+	"collsel/internal/coll"
+	"collsel/internal/core"
+	"collsel/internal/decision"
+	"collsel/internal/expt"
+	"collsel/internal/microbench"
+	"collsel/internal/mpi"
+	"collsel/internal/netmodel"
+	_ "collsel/internal/papaware" // register the PAP-aware extension algorithms
+	"collsel/internal/pattern"
+	"collsel/internal/trace"
+	"collsel/internal/tuning"
+)
+
+// --- Platforms ---------------------------------------------------------------
+
+// Platform describes a simulated parallel machine.
+type Platform = netmodel.Platform
+
+// Link is one latency/bandwidth tier of a platform's network.
+type Link = netmodel.Link
+
+// NoiseProfile parameterizes a machine's system noise.
+type NoiseProfile = netmodel.NoiseProfile
+
+// ClockProfile parameterizes local-clock imperfection.
+type ClockProfile = netmodel.ClockProfile
+
+// Machine presets (see internal/netmodel for the parameter rationale).
+var (
+	SimCluster = netmodel.SimCluster
+	Hydra      = netmodel.Hydra
+	Galileo100 = netmodel.Galileo100
+	Discoverer = netmodel.Discoverer
+)
+
+// MachineByName resolves a preset platform ("Hydra", "Galileo100",
+// "Discoverer", "SimCluster"); nil if unknown.
+func MachineByName(name string) *Platform { return netmodel.ByName(name) }
+
+// Machines returns all built-in platforms.
+func Machines() []*Platform { return netmodel.Presets() }
+
+// --- Collectives and algorithms ------------------------------------------------
+
+// Collective enumerates the supported operations.
+type Collective = coll.Collective
+
+// Supported collectives.
+const (
+	Reduce        = coll.Reduce
+	Allreduce     = coll.Allreduce
+	Alltoall      = coll.Alltoall
+	Bcast         = coll.Bcast
+	Allgather     = coll.Allgather
+	Gather        = coll.Gather
+	Scatter       = coll.Scatter
+	Barrier       = coll.Barrier
+	ReduceScatter = coll.ReduceScatter
+	Alltoallv     = coll.Alltoallv
+)
+
+// Algorithm is one collective implementation; Args is a rank's invocation
+// view (used when writing custom algorithms).
+type (
+	Algorithm = coll.Algorithm
+	Args      = coll.Args
+)
+
+// Rank, Request and Message expose the MPI-like runtime surface needed to
+// implement custom collective algorithms (Send/Recv/Isend/Irecv/Sendrecv,
+// Wtime, Compute).
+type (
+	Rank    = mpi.Rank
+	Request = mpi.Request
+	Message = mpi.Message
+)
+
+// Algorithm registry access.
+var (
+	// Algorithms returns all registered algorithms of a collective.
+	Algorithms = coll.Algorithms
+	// TableII returns the Open MPI Table II algorithms, ascending by ID.
+	TableII = coll.TableII
+	// AlgorithmByID resolves a Table II algorithm id.
+	AlgorithmByID = coll.ByID
+	// AlgorithmByName resolves a canonical or SimGrid algorithm name.
+	AlgorithmByName = coll.ByName
+	// RegisterAlgorithm adds a user-defined algorithm to the registry.
+	RegisterAlgorithm = coll.Register
+)
+
+// --- Arrival patterns ------------------------------------------------------------
+
+// Shape identifies an arrival-pattern shape; Pattern is a concrete
+// per-process delay vector.
+type (
+	Shape   = pattern.Shape
+	Pattern = pattern.Pattern
+)
+
+// The pattern shapes of the paper's Fig. 3 (plus the NoDelay baseline).
+const (
+	NoDelay      = pattern.NoDelay
+	Ascending    = pattern.Ascending
+	Descending   = pattern.Descending
+	LastDelayed  = pattern.LastDelayed
+	FirstDelayed = pattern.FirstDelayed
+	RandomShape  = pattern.Random
+	VShape       = pattern.VShape
+	InverseV     = pattern.InverseV
+	HalfDelayed  = pattern.HalfDelayed
+)
+
+// Pattern construction and I/O.
+var (
+	// GeneratePattern materializes (shape, procs, maxSkewNs, seed).
+	GeneratePattern = pattern.Generate
+	// PatternFromDelays wraps measured per-process delays.
+	PatternFromDelays = pattern.FromDelays
+	// ReadPatternFile parses a one-line-per-process pattern file.
+	ReadPatternFile = pattern.ReadFile
+	// ArtificialShapes returns the paper's eight artificial shapes.
+	ArtificialShapes = pattern.ArtificialShapes
+	// AllShapes returns NoDelay plus the eight artificial shapes.
+	AllShapes = pattern.AllShapes
+)
+
+// --- Micro-benchmarking ------------------------------------------------------------
+
+// BenchConfig configures a single micro-benchmark run (one algorithm, one
+// message size, one pattern), following the paper's Listing 1 methodology.
+type BenchConfig = microbench.Config
+
+// BenchResult aggregates a run's repetitions; LastDelay is the d-hat metric.
+type BenchResult = microbench.Result
+
+// RunBenchmark executes one micro-benchmark.
+var RunBenchmark = microbench.Run
+
+// --- Measurement matrix and selection ------------------------------------------------
+
+// Matrix is a pattern x algorithm table of mean last-delay measurements,
+// with the paper's analyses (optimization potential, robustness classes,
+// normalized scores, runtime prediction) as methods.
+type Matrix = core.Matrix
+
+// Choice is a ranked algorithm with its robustness score.
+type Choice = core.Choice
+
+// Prediction is an estimated application runtime (Fig. 9 estimator).
+type Prediction = core.Prediction
+
+// GridConfig describes a full pattern x algorithm measurement grid;
+// BuildMatrix measures it.
+type GridConfig = expt.GridConfig
+
+// Skew-magnitude policies for BuildMatrix.
+const (
+	SkewAvgRuntime   = expt.SkewAvgRuntime
+	SkewPerAlgorithm = expt.SkewPerAlgorithm
+	SkewFixed        = expt.SkewFixed
+)
+
+// BuildMatrix measures a full grid and returns the matrix plus the
+// per-algorithm no-delay runtimes.
+var BuildMatrix = expt.BuildMatrix
+
+// --- Tracing and the FT proxy ---------------------------------------------------------
+
+// Tracer is the PMPI-style collective tracer.
+type Tracer = trace.Tracer
+
+// NewTracer creates a tracer for procs ranks.
+var NewTracer = trace.New
+
+// FTConfig and FTResult parameterize the NAS-FT proxy application.
+type (
+	FTConfig = ft.Config
+	FTResult = ft.Result
+	FTClass  = ft.Class
+)
+
+// FT problem classes and runner.
+var (
+	FTClassA = ft.ClassA
+	FTClassB = ft.ClassB
+	FTClassC = ft.ClassC
+	FTClassD = ft.ClassD
+	RunFT    = ft.Run
+)
+
+// TrainConfig and TrainResult parameterize the data-parallel training
+// proxy (imbalanced gradient compute + Allreduce per step).
+type (
+	TrainConfig = dltrain.Config
+	TrainResult = dltrain.Result
+)
+
+// RunTraining executes the training proxy.
+var RunTraining = dltrain.Run
+
+// AsyncOp is the handle of a non-blocking collective; IstartCollective
+// launches one on a progress actor that overlaps the caller's computation
+// while sharing the rank's network ports.
+type AsyncOp = mpi.AsyncOp
+
+// IstartCollective starts a collective algorithm non-blockingly
+// (MPI_Icollective semantics).
+var IstartCollective = coll.Istart
+
+// --- Baselines, strategies, tuning tables ----------------------------------------------
+
+// LibraryDefault returns the algorithm an Open MPI-style fixed decision
+// logic would pick for (collective, comm size, message size) — the
+// deployment baseline that never sees arrival patterns.
+var LibraryDefault = decision.Fixed
+
+// Strategy identifies a selection strategy in comparisons.
+type Strategy = expt.Strategy
+
+// The three compared strategies.
+const (
+	StrategyDefault = expt.StrategyDefault
+	StrategyNoDelay = expt.StrategyNoDelay
+	StrategyRobust  = expt.StrategyRobust
+)
+
+// StrategyComparison evaluates library-default vs. no-delay-tuned vs.
+// pattern-robust selection on one measurement grid.
+type StrategyComparison = expt.StrategyComparison
+
+// CompareStrategies builds a grid and evaluates the three strategies;
+// CompareStrategiesOn evaluates them on an existing matrix.
+var (
+	CompareStrategies   = expt.CompareStrategies
+	CompareStrategiesOn = expt.CompareStrategiesOn
+)
+
+// TuningTable persists selections as a dynamic-rules-style file; see
+// internal/tuning for the format.
+type (
+	TuningTable = tuning.Table
+	TuningRule  = tuning.Rule
+)
+
+// LoadTuningTable reads and validates a tuning table file.
+var LoadTuningTable = tuning.Load
+
+// Gantt renders a traced collective call as an ASCII timeline (the
+// paper's Fig. 2 visualization).
+var Gantt = trace.Gantt
+
+// TraceCall is one recorded collective invocation.
+type TraceCall = trace.Call
+
+// --- High-level selection --------------------------------------------------------------
+
+// SelectConfig parameterizes the one-call selection workflow.
+type SelectConfig struct {
+	// Machine is the platform model; required.
+	Machine *Platform
+	// Collective under selection; required.
+	Collective Collective
+	// MsgBytes is the message size (per pair for Alltoall); required.
+	MsgBytes int
+	// Procs defaults to Machine.Size().
+	Procs int
+	// Root rank for rooted collectives.
+	Root int
+	// MaxSkewNs fixes the pattern magnitude; 0 derives it from the average
+	// no-delay runtime of the algorithm set (the paper's default).
+	MaxSkewNs int64
+	// Reps is the per-cell repetition count (default: 5 on noisy machines).
+	Reps int
+	// Seed drives the machine's noise and clocks.
+	Seed int64
+}
+
+// Selection is the outcome of the pattern-aware selection workflow.
+type Selection struct {
+	// Recommended is the most robust algorithm: smallest average normalized
+	// runtime across the eight artificial arrival patterns.
+	Recommended Algorithm
+	// ConventionalChoice is what a synchronized (no-delay) micro-benchmark
+	// would pick.
+	ConventionalChoice Algorithm
+	// Ranking lists all algorithms, best (most robust) first.
+	Ranking []Choice
+	// Matrix is the underlying measurement grid for further analysis.
+	Matrix *Matrix
+}
+
+// Select runs the paper's full selection methodology: benchmark every
+// Table II algorithm of the collective under the no-delay baseline and the
+// eight artificial arrival patterns, rank by average normalized runtime,
+// and return the most robust choice.
+func Select(cfg SelectConfig) (*Selection, error) {
+	algs := coll.TableII(cfg.Collective)
+	if len(algs) == 0 {
+		algs = coll.Algorithms(cfg.Collective)
+	}
+	policy := expt.SkewAvgRuntime
+	if cfg.MaxSkewNs > 0 {
+		policy = expt.SkewFixed
+	}
+	m, _, err := expt.BuildMatrix(expt.GridConfig{
+		Platform:    cfg.Machine,
+		Procs:       cfg.Procs,
+		Seed:        cfg.Seed,
+		Algorithms:  algs,
+		Shapes:      pattern.ArtificialShapes(),
+		MsgBytes:    cfg.MsgBytes,
+		Root:        cfg.Root,
+		Policy:      policy,
+		FixedSkewNs: cfg.MaxSkewNs,
+		Reps:        cfg.Reps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ranking, err := m.SelectRobust()
+	if err != nil {
+		return nil, err
+	}
+	conventional, err := m.NoDelayChoice()
+	if err != nil {
+		return nil, err
+	}
+	return &Selection{
+		Recommended:        ranking[0].Algorithm,
+		ConventionalChoice: conventional,
+		Ranking:            ranking,
+		Matrix:             m,
+	}, nil
+}

@@ -1,0 +1,72 @@
+package collsel_test
+
+import (
+	"fmt"
+	"log"
+
+	"collsel"
+)
+
+// ExampleSelect demonstrates the paper's headline workflow: pick the
+// collective algorithm that is most robust across arrival patterns,
+// instead of the winner of a synchronized micro-benchmark.
+func ExampleSelect() {
+	sel, err := collsel.Select(collsel.SelectConfig{
+		Machine:    collsel.SimCluster(), // deterministic, noiseless model
+		Collective: collsel.Reduce,
+		MsgBytes:   1024,
+		Procs:      32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("algorithms ranked:", len(sel.Ranking))
+	fmt.Println("matrix rows:", len(sel.Matrix.Patterns))
+	// Output:
+	// algorithms ranked: 7
+	// matrix rows: 9
+}
+
+// ExampleRunBenchmark measures one algorithm under one arrival pattern,
+// reproducing the Listing-1 methodology.
+func ExampleRunBenchmark() {
+	alg, _ := collsel.AlgorithmByID(collsel.Allreduce, 3) // recursive doubling
+	res, err := collsel.RunBenchmark(collsel.BenchConfig{
+		Platform:  collsel.SimCluster(),
+		Procs:     16,
+		Algorithm: alg,
+		Count:     128,
+		Pattern:   collsel.GeneratePattern(collsel.LastDelayed, 16, 1_000_000, 1),
+		Reps:      3,
+		Validate:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pattern:", res.Pattern)
+	fmt.Println("d* includes the skew:", res.TotalDelay.Mean >= 1_000_000)
+	fmt.Println("d-hat excludes it:", res.LastDelay.Mean < res.TotalDelay.Mean)
+	// Output:
+	// pattern: last_delayed
+	// d* includes the skew: true
+	// d-hat excludes it: true
+}
+
+// ExampleGeneratePattern shows the Fig. 3 shape generator.
+func ExampleGeneratePattern() {
+	pat := collsel.GeneratePattern(collsel.Ascending, 5, 1000, 0)
+	fmt.Println(pat.Name, pat.DelaysNs)
+	// Output:
+	// ascending [0 250 500 750 1000]
+}
+
+// ExampleLibraryDefault shows the fixed decision-logic baseline.
+func ExampleLibraryDefault() {
+	al, _ := collsel.LibraryDefault(collsel.Alltoall, 64, 32768)
+	fmt.Println(al.Name)
+	al, _ = collsel.LibraryDefault(collsel.Alltoall, 64, 8)
+	fmt.Println(al.Name)
+	// Output:
+	// linear_sync
+	// bruck
+}

@@ -1,0 +1,79 @@
+// FT replay: trace the arrival patterns of the NAS-FT proxy with the
+// PMPI-style tracer (the paper's Fig. 1 methodology), extract the
+// FT-Scenario pattern, and replay it in Alltoall micro-benchmarks to see
+// which algorithm copes best with the application's real imbalance
+// (Sec. V-B of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"collsel"
+)
+
+func main() {
+	machine := collsel.Hydra()
+	const procs = 128
+
+	// A small FT geometry that keeps this example quick; per-pair message
+	// size is 16*N/p^2 bytes.
+	class := collsel.FTClass{Name: "demo", NX: 256, NY: 256, NZ: 128, Iterations: 6}
+
+	// 1. Run FT with the tracer attached (clocks are HCA-synchronized
+	//    before tracing, as in the paper).
+	tracer := collsel.NewTracer(procs)
+	pairwise, _ := collsel.AlgorithmByID(collsel.Alltoall, 2)
+	res, err := collsel.RunFT(collsel.FTConfig{
+		Platform:    machine,
+		Procs:       procs,
+		Class:       class,
+		AlltoallAlg: pairwise,
+		Tracer:      tracer,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FT on %s: %.3f s, %d alltoall calls, %d B per pair, alltoall share %.0f%%\n",
+		machine.Name, res.RuntimeSec, res.NumAlltoalls, res.MsgBytesPerPair, 100*res.CommFraction)
+
+	// 2. Extract the FT-Scenario: each process's average delay relative to
+	//    the first arrival, over all traced MPI_Alltoall calls.
+	scenario, err := tracer.Scenario("ft_scenario", collsel.Alltoall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced max arrival skew: %.1f us\n\n", float64(scenario.MaxSkewNs())/1000)
+
+	// 3. Replay: benchmark every Alltoall algorithm under (a) perfect
+	//    synchronization and (b) the traced FT-Scenario.
+	fmt.Printf("%-14s  %-14s  %-14s  %s\n", "algorithm", "no-delay d-hat", "FT-scenario", "degradation")
+	for _, al := range collsel.TableII(collsel.Alltoall) {
+		base := benchmark(machine, al, res.MsgBytesPerPair, procs, collsel.Pattern{})
+		replay := benchmark(machine, al, res.MsgBytesPerPair, procs, scenario)
+		fmt.Printf("%d:%-12s  %10.1f us  %10.1f us  %.2fx\n",
+			al.ID, al.Abbrev, base/1000, replay/1000, replay/base)
+	}
+}
+
+func benchmark(machine *collsel.Platform, al collsel.Algorithm, msgBytes, procs int, pat collsel.Pattern) float64 {
+	count, elemSize := msgBytes/8, 8
+	if msgBytes > 1024 && msgBytes%128 == 0 {
+		count, elemSize = 128, msgBytes/128
+	}
+	res, err := collsel.RunBenchmark(collsel.BenchConfig{
+		Platform:  machine,
+		Procs:     procs,
+		Algorithm: al,
+		Count:     count,
+		ElemSize:  elemSize,
+		Pattern:   pat,
+		Reps:      3,
+		Seed:      11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.LastDelay.Mean
+}

@@ -1,0 +1,63 @@
+// Quickstart: benchmark one collective algorithm under one arrival pattern
+// and print the paper's two metrics (total delay d* and last delay d-hat).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"collsel"
+)
+
+func main() {
+	machine := collsel.Hydra()
+
+	// The algorithm under test: Open MPI's binomial-tree MPI_Reduce
+	// (Table II id 5).
+	binomial, ok := collsel.AlgorithmByID(collsel.Reduce, 5)
+	if !ok {
+		log.Fatal("binomial reduce not registered")
+	}
+
+	// A "last process delayed" arrival pattern with 500 us of skew across
+	// 64 processes.
+	pat := collsel.GeneratePattern(collsel.LastDelayed, 64, 500_000, 1)
+
+	res, err := collsel.RunBenchmark(collsel.BenchConfig{
+		Platform:  machine,
+		Procs:     64,
+		Algorithm: binomial,
+		Count:     128, // x 8 B elements = 1 KiB message
+		Pattern:   pat,
+		Reps:      5,
+		Seed:      42,
+		Validate:  true, // cross-check that the reduction really sums
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("machine:      %s\n", machine.Name)
+	fmt.Printf("algorithm:    %s\n", res.Algorithm.Name)
+	fmt.Printf("pattern:      %s (max skew %d ns)\n", res.Pattern, res.MaxSkewNs)
+	fmt.Printf("message size: %d B, %d procs, %d reps\n", res.MsgBytes(), res.Procs, len(res.Reps))
+	fmt.Printf("total delay d*:   %.1f us (mean)\n", res.TotalDelay.Mean/1000)
+	fmt.Printf("last delay d-hat: %.1f us (mean), %.1f us (median)\n",
+		res.LastDelay.Mean/1000, res.LastDelay.Median/1000)
+
+	// Compare against the perfectly synchronized baseline.
+	noDelay, err := collsel.RunBenchmark(collsel.BenchConfig{
+		Platform:  machine,
+		Procs:     64,
+		Algorithm: binomial,
+		Count:     128,
+		Reps:      5,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nno-delay d-hat:   %.1f us (mean)\n", noDelay.LastDelay.Mean/1000)
+	fmt.Printf("slowdown from the arrival pattern: %.2fx\n",
+		res.LastDelay.Mean/noDelay.LastDelay.Mean)
+}

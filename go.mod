@@ -1,0 +1,3 @@
+module collsel
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package dltrain implements a data-parallel deep-learning training proxy:
+// iterations of imbalanced gradient computation followed by an Allreduce
+// of the gradient buffer. The paper's motivation cites imbalanced training
+// workloads (Li et al., PPoPP'20; Alizadeh et al., EuroMPI'22) as a major
+// source of process arrival imbalance at collectives; this proxy generates
+// exactly that load profile, giving the library a second application —
+// besides NAS FT — to validate arrival-pattern-aware selection on.
+package dltrain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"collsel/internal/clocksync"
+	"collsel/internal/coll"
+	"collsel/internal/mpi"
+	"collsel/internal/netmodel"
+	"collsel/internal/trace"
+)
+
+// Config describes one training run.
+type Config struct {
+	// Platform is the machine model; required.
+	Platform *netmodel.Platform
+	// Procs is the number of ranks (defaults to Platform.Size()).
+	Procs int
+	// Seed drives noise, clocks and the batch imbalance.
+	Seed int64
+	// Iterations is the number of training steps (default 50).
+	Iterations int
+	// GradBytes is the gradient buffer size in bytes (default 4 MiB).
+	GradBytes int
+	// AllreduceAlg is the gradient reduction algorithm; required.
+	AllreduceAlg coll.Algorithm
+	// ComputeNsMean is the mean per-step gradient computation time
+	// (default 2 ms).
+	ComputeNsMean int64
+	// ImbalanceFrac is the per-step, per-rank uniform compute imbalance
+	// (0.3 = steps take 70-130% of the mean), modelling variable-length
+	// samples and input pipelines (default 0.3).
+	ImbalanceFrac float64
+	// Tracer, when non-nil, records the Allreduce calls.
+	Tracer *trace.Tracer
+	// PerfectClocks/NoNoise force simulation-mode behaviour.
+	PerfectClocks bool
+	NoNoise       bool
+}
+
+// Result summarizes one run.
+type Result struct {
+	// RuntimeSec is the virtual wall-clock of the whole run.
+	RuntimeSec float64
+	// StepSecMean is the mean per-iteration time.
+	StepSecMean float64
+	// AllreduceSecMean is the mean per-rank total time inside Allreduce
+	// (including imbalance wait absorbed there).
+	AllreduceSecMean float64
+	// CommFraction is AllreduceSecMean over per-rank mean total time.
+	CommFraction float64
+	// NumAllreduces echoes the iteration count.
+	NumAllreduces int
+	// GradBytes echoes the gradient size.
+	GradBytes int
+}
+
+// Run executes the training proxy.
+func Run(cfg Config) (Result, error) {
+	if cfg.Platform == nil {
+		return Result{}, fmt.Errorf("dltrain: nil platform")
+	}
+	if cfg.AllreduceAlg.Run == nil {
+		return Result{}, fmt.Errorf("dltrain: no allreduce algorithm")
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = cfg.Platform.Size()
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 50
+	}
+	if cfg.GradBytes <= 0 {
+		cfg.GradBytes = 4 << 20
+	}
+	if cfg.ComputeNsMean <= 0 {
+		cfg.ComputeNsMean = 2_000_000
+	}
+	if cfg.ImbalanceFrac < 0 || cfg.ImbalanceFrac >= 1 {
+		return Result{}, fmt.Errorf("dltrain: imbalance fraction %g out of [0,1)", cfg.ImbalanceFrac)
+	}
+	if cfg.ImbalanceFrac == 0 {
+		cfg.ImbalanceFrac = 0.3
+	}
+
+	// Gradient payload: capped element count, wire size = GradBytes.
+	count := cfg.GradBytes / 8
+	elemSize := 8
+	if cfg.GradBytes > 1024 && cfg.GradBytes%128 == 0 {
+		count, elemSize = 128, cfg.GradBytes/128
+	}
+
+	w, err := mpi.NewWorld(mpi.Config{
+		Platform:      cfg.Platform,
+		Size:          cfg.Procs,
+		Seed:          cfg.Seed,
+		PerfectClocks: cfg.PerfectClocks,
+		NoNoise:       cfg.NoNoise,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	alg := cfg.AllreduceAlg
+	if cfg.Tracer != nil {
+		alg = cfg.Tracer.Wrap(alg)
+	}
+
+	// Per-rank batch-imbalance streams, independent of event interleaving.
+	rngs := make([]*rand.Rand, cfg.Procs)
+	for r := range rngs {
+		rngs[r] = rand.New(rand.NewSource(cfg.Seed ^ int64(0x5eed*(r+13))))
+	}
+
+	a2rNs := make([]int64, cfg.Procs)
+	totalNs := make([]int64, cfg.Procs)
+	runErr := w.Run(func(r *mpi.Rank) {
+		if cfg.Platform.Clock.Enabled && !cfg.PerfectClocks {
+			r.SyncClock(clocksync.DefaultHCAConfig())
+		}
+		if err := coll.RunBarrier(r); err != nil {
+			r.Abort("barrier: %v", err)
+		}
+		start := w.K.Now()
+		for it := 0; it < cfg.Iterations; it++ {
+			// Gradient computation with uniform batch imbalance.
+			f := 1 + cfg.ImbalanceFrac*(2*rngs[r.ID()].Float64()-1)
+			r.Compute(int64(float64(cfg.ComputeNsMean) * f))
+
+			t0 := w.K.Now()
+			grad := make([]float64, count)
+			args := &coll.Args{R: r, Count: count, ElemSize: elemSize, Data: grad, Tag: coll.NextTag(r)}
+			if _, err := alg.Run(args); err != nil {
+				r.Abort("allreduce: %v", err)
+			}
+			a2rNs[r.ID()] += w.K.Now() - t0
+		}
+		totalNs[r.ID()] = w.K.Now() - start
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := Result{NumAllreduces: cfg.Iterations, GradBytes: cfg.GradBytes}
+	var a2rSum, totSum float64
+	var totMax int64
+	for rk := 0; rk < cfg.Procs; rk++ {
+		a2rSum += float64(a2rNs[rk])
+		totSum += float64(totalNs[rk])
+		if totalNs[rk] > totMax {
+			totMax = totalNs[rk]
+		}
+	}
+	res.RuntimeSec = float64(totMax) / 1e9
+	res.StepSecMean = res.RuntimeSec / float64(cfg.Iterations)
+	res.AllreduceSecMean = a2rSum / float64(cfg.Procs) / 1e9
+	if totSum > 0 {
+		res.CommFraction = a2rSum / totSum
+	}
+	return res, nil
+}

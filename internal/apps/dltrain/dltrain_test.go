@@ -1,0 +1,110 @@
+package dltrain
+
+import (
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/netmodel"
+	"collsel/internal/trace"
+)
+
+func alg(t *testing.T, id int) coll.Algorithm {
+	t.Helper()
+	al, ok := coll.ByID(coll.Allreduce, id)
+	if !ok {
+		t.Fatalf("allreduce %d missing", id)
+	}
+	return al
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := Run(Config{Platform: netmodel.SimCluster()}); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	if _, err := Run(Config{Platform: netmodel.SimCluster(), AllreduceAlg: alg(t, 3), ImbalanceFrac: 1.5, Procs: 4}); err == nil {
+		t.Error("imbalance >= 1 accepted")
+	}
+}
+
+func TestRunPlausible(t *testing.T) {
+	res, err := Run(Config{
+		Platform:     netmodel.Hydra(),
+		Procs:        32,
+		Seed:         1,
+		Iterations:   10,
+		GradBytes:    1 << 20,
+		AllreduceAlg: alg(t, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeSec <= 0 || res.NumAllreduces != 10 {
+		t.Fatalf("%+v", res)
+	}
+	if res.CommFraction <= 0 || res.CommFraction >= 1 {
+		t.Fatalf("comm fraction %g", res.CommFraction)
+	}
+	if res.StepSecMean <= 0 {
+		t.Fatal("no step time")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{
+		Platform: netmodel.Galileo100(), Procs: 16, Seed: 7,
+		Iterations: 5, GradBytes: 1 << 18, AllreduceAlg: alg(t, 6),
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RuntimeSec != b.RuntimeSec {
+		t.Fatalf("non-deterministic: %g vs %g", a.RuntimeSec, b.RuntimeSec)
+	}
+}
+
+func TestImbalanceCreatesArrivalPatterns(t *testing.T) {
+	tr := trace.New(16)
+	_, err := Run(Config{
+		Platform: netmodel.SimCluster(), Procs: 16, Seed: 2,
+		Iterations: 8, GradBytes: 1 << 18, AllreduceAlg: alg(t, 3),
+		ImbalanceFrac: 0.4, Tracer: tr,
+		PerfectClocks: true, NoNoise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCalls(coll.Allreduce) != 8 {
+		t.Fatalf("traced %d calls", tr.NumCalls(coll.Allreduce))
+	}
+	if tr.MaxSkewNs(coll.Allreduce) <= 0 {
+		t.Fatal("batch imbalance produced no arrival skew")
+	}
+}
+
+func TestWorksWithExtensionAlgorithms(t *testing.T) {
+	// The two-level and PAP-aware allreduce variants must drive the proxy.
+	for _, name := range []string{"two_level"} {
+		al, ok := coll.ByName(coll.Allreduce, name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		res, err := Run(Config{
+			Platform: netmodel.Hydra(), Procs: 64, Seed: 3,
+			Iterations: 5, GradBytes: 1 << 19, AllreduceAlg: al,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.RuntimeSec <= 0 {
+			t.Fatalf("%s: no runtime", name)
+		}
+	}
+}

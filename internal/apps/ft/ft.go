@@ -1,0 +1,275 @@
+// Package ft implements a proxy of the NAS Parallel Benchmarks FT kernel
+// (3-D FFT, Bailey et al.), the application the paper uses to demonstrate
+// arrival-pattern-aware algorithm selection (Sec. V).
+//
+// The proxy reproduces what the paper relies on:
+//
+//   - MPI_Alltoall dominates communication (the 1-D "slab" decomposition
+//     transposes the grid once per FFT), with exactly the per-pair message
+//     size of the real benchmark: 16*NX*NY*NZ / p^2 bytes (complex doubles),
+//     e.g. 32768 B for class D at 1024 processes — and also 32768 B for
+//     class C at 256 processes, which keeps the paper's message-size regime
+//     reachable at laptop-scale simulations.
+//   - Compute phases (evolve + local FFTs) modelled by an operation count of
+//     5*N*log2(N) flops per FFT pass, scaled by the platform's per-rank flop
+//     rate and perturbed by the machine noise model. Static per-node speed
+//     imbalance plus OS jitter is what produces the machine-specific arrival
+//     patterns at the Alltoall (Fig. 1).
+//   - A small Allreduce per iteration (the checksum), as in the original.
+package ft
+
+import (
+	"fmt"
+	"math"
+
+	"collsel/internal/clocksync"
+	"collsel/internal/coll"
+	"collsel/internal/mpi"
+	"collsel/internal/netmodel"
+	"collsel/internal/trace"
+)
+
+// Class is an NPB problem class.
+type Class struct {
+	Name       string
+	NX, NY, NZ int
+	Iterations int
+}
+
+// NPB FT problem classes (v3.4.2).
+var (
+	ClassA = Class{Name: "A", NX: 256, NY: 256, NZ: 128, Iterations: 6}
+	ClassB = Class{Name: "B", NX: 512, NY: 256, NZ: 256, Iterations: 20}
+	ClassC = Class{Name: "C", NX: 512, NY: 512, NZ: 512, Iterations: 20}
+	ClassD = Class{Name: "D", NX: 2048, NY: 1024, NZ: 1024, Iterations: 25}
+)
+
+// ClassByName resolves a class from its letter.
+func ClassByName(n string) (Class, bool) {
+	for _, c := range []Class{ClassA, ClassB, ClassC, ClassD} {
+		if c.Name == n {
+			return c, true
+		}
+	}
+	return Class{}, false
+}
+
+// Points returns the total number of grid points.
+func (c Class) Points() int64 { return int64(c.NX) * int64(c.NY) * int64(c.NZ) }
+
+// MsgBytesPerPair returns the Alltoall per-pair message size at p processes.
+func (c Class) MsgBytesPerPair(p int) int {
+	return int(16 * c.Points() / int64(p) / int64(p))
+}
+
+// Config describes one FT execution.
+type Config struct {
+	// Platform is the machine; required.
+	Platform *netmodel.Platform
+	// Procs is the number of ranks (must divide the grid; defaults to
+	// Platform.Size()).
+	Procs int
+	// Seed drives the machine's noise and clocks.
+	Seed int64
+	// Class is the problem class (defaults to ClassC).
+	Class Class
+	// AlltoallAlg is the algorithm used for the transpose; required.
+	AlltoallAlg coll.Algorithm
+	// AllreduceAlg is used for the checksum (defaults to recursive doubling).
+	AllreduceAlg coll.Algorithm
+	// Tracer, when non-nil, records the collective calls (clocks are
+	// synchronized before the run, as the paper's tracing library does).
+	Tracer *trace.Tracer
+	// ComputeScale scales the modelled compute time; 1.0 uses the plain
+	// 5*N*log2(N) estimate. The default 0.12 calibrates the proxy so the
+	// Alltoall consumes 50-70% of the runtime, the share the paper reports
+	// for FT (Sec. V-A), reflecting the vectorized FFT of the real code.
+	ComputeScale float64
+	// NonBlockingAlltoall overlaps the transpose with the second FFT half
+	// using a non-blocking collective (the Widener et al. question from the
+	// paper's related work: can non-blocking collectives absorb noise and
+	// arrival skew?). Note the real FT has a data dependency that forbids
+	// this; the proxy uses it as a what-if study.
+	NonBlockingAlltoall bool
+	// PerfectClocks/NoNoise force simulation-mode behaviour.
+	PerfectClocks bool
+	NoNoise       bool
+}
+
+// Result summarizes one FT run.
+type Result struct {
+	// RuntimeSec is the wall-clock runtime (first rank start to last rank
+	// finish) in seconds of virtual time.
+	RuntimeSec float64
+	// ComputeSecMean / ComputeSecMax are per-rank totals of modelled compute.
+	ComputeSecMean, ComputeSecMax float64
+	// AlltoallSecMean is the mean per-rank total time spent inside Alltoall
+	// (including arrival-imbalance wait absorbed there).
+	AlltoallSecMean float64
+	// CommFraction is AlltoallSecMean / (per-rank mean total).
+	CommFraction float64
+	// NumAlltoalls is the number of transpose calls executed.
+	NumAlltoalls int
+	// MsgBytesPerPair is the Alltoall per-pair message size.
+	MsgBytesPerPair int
+	// Procs echoes the rank count.
+	Procs int
+}
+
+// Run executes the FT proxy and returns its measured result.
+func Run(cfg Config) (Result, error) {
+	if cfg.Platform == nil {
+		return Result{}, fmt.Errorf("ft: nil platform")
+	}
+	if cfg.AlltoallAlg.Run == nil {
+		return Result{}, fmt.Errorf("ft: no alltoall algorithm")
+	}
+	if cfg.Class.NX == 0 {
+		cfg.Class = ClassC
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = cfg.Platform.Size()
+	}
+	if cfg.AllreduceAlg.Run == nil {
+		cfg.AllreduceAlg, _ = coll.ByID(coll.Allreduce, 3)
+	}
+	if cfg.ComputeScale <= 0 {
+		cfg.ComputeScale = 0.12
+	}
+	p := cfg.Procs
+	n := cfg.Class.Points()
+	if int64(p)*int64(p) > n {
+		return Result{}, fmt.Errorf("ft: %d procs too many for class %s", p, cfg.Class.Name)
+	}
+	// Per-pair wire size; the payload element count is capped so the
+	// simulator does not move the physical array around (timing depends
+	// only on count*elemSize = msgBytes).
+	msgBytes := int(16 * n / int64(p) / int64(p))
+	countPerPair := msgBytes / 8
+	elemSize := 8
+	if msgBytes > 1024 && msgBytes%128 == 0 {
+		countPerPair = 128
+		elemSize = msgBytes / 128
+	}
+
+	w, err := mpi.NewWorld(mpi.Config{
+		Platform:      cfg.Platform,
+		Size:          p,
+		Seed:          cfg.Seed,
+		PerfectClocks: cfg.PerfectClocks,
+		NoNoise:       cfg.NoNoise,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	a2a := cfg.AlltoallAlg
+	ared := cfg.AllreduceAlg
+	if cfg.Tracer != nil {
+		a2a = cfg.Tracer.Wrap(a2a)
+		ared = cfg.Tracer.Wrap(ared)
+	}
+
+	// Per-iteration compute model: evolve pass (~6 flops/point) plus two
+	// 1-D FFT passes over the local slab (5*N*log2(N)/p total, split in two
+	// halves around the transpose).
+	logN := math.Log2(float64(n))
+	fftFlops := 5 * float64(n) * logN / float64(p) * cfg.ComputeScale
+	evolveFlops := 6 * float64(n) / float64(p) * cfg.ComputeScale
+	flopsToNs := func(f float64) int64 {
+		return int64(f / cfg.Platform.FlopsPerRank * 1e9)
+	}
+
+	computeNs := make([]int64, p) // accumulated true compute per rank
+	a2aNs := make([]int64, p)
+	totalNs := make([]int64, p)
+
+	runErr := w.Run(func(r *mpi.Rank) {
+		if cfg.Platform.Clock.Enabled && !cfg.PerfectClocks {
+			r.SyncClock(defaultSync())
+		}
+		if err := coll.RunBarrier(r); err != nil {
+			r.Abort("barrier: %v", err)
+		}
+		start := w.K.Now()
+		iters := cfg.Class.Iterations + 1 // initial forward FFT + per-iteration inverse FFT
+		for it := 0; it < iters; it++ {
+			// Evolve + first FFT half.
+			c0 := w.K.Now()
+			r.Compute(flopsToNs(evolveFlops + fftFlops/2))
+			computeNs[r.ID()] += w.K.Now() - c0
+
+			// Transpose (+ second FFT half, overlapped in what-if mode).
+			t0 := w.K.Now()
+			data := make([]float64, countPerPair*p)
+			args := &coll.Args{R: r, Count: countPerPair, ElemSize: elemSize, Data: data, Tag: coll.NextTag(r)}
+			if cfg.NonBlockingAlltoall {
+				op := coll.Istart(a2a, args)
+				c1 := w.K.Now()
+				r.Compute(flopsToNs(fftFlops / 2))
+				compDur := w.K.Now() - c1
+				computeNs[r.ID()] += compDur
+				if _, err := op.Wait(); err != nil {
+					r.Abort("ialltoall: %v", err)
+				}
+				// Charge only the communication time that compute could not
+				// hide.
+				if exposed := (w.K.Now() - t0) - compDur; exposed > 0 {
+					a2aNs[r.ID()] += exposed
+				}
+			} else {
+				if _, err := a2a.Run(args); err != nil {
+					r.Abort("alltoall: %v", err)
+				}
+				a2aNs[r.ID()] += w.K.Now() - t0
+
+				// Second FFT half.
+				c1 := w.K.Now()
+				r.Compute(flopsToNs(fftFlops / 2))
+				computeNs[r.ID()] += w.K.Now() - c1
+			}
+
+			// Checksum (skip for the initial forward FFT).
+			if it > 0 {
+				ck := []float64{1, 2, 3, 4}
+				cargs := &coll.Args{R: r, Count: 4, Data: ck, Tag: coll.NextTag(r)}
+				if _, err := ared.Run(cargs); err != nil {
+					r.Abort("allreduce: %v", err)
+				}
+			}
+		}
+		totalNs[r.ID()] = w.K.Now() - start
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := Result{
+		NumAlltoalls:    cfg.Class.Iterations + 1,
+		MsgBytesPerPair: msgBytes,
+		Procs:           p,
+	}
+	var compSum, a2aSum, totSum float64
+	var compMax, totMax int64
+	for rk := 0; rk < p; rk++ {
+		compSum += float64(computeNs[rk])
+		a2aSum += float64(a2aNs[rk])
+		totSum += float64(totalNs[rk])
+		if computeNs[rk] > compMax {
+			compMax = computeNs[rk]
+		}
+		if totalNs[rk] > totMax {
+			totMax = totalNs[rk]
+		}
+	}
+	res.RuntimeSec = float64(totMax) / 1e9
+	res.ComputeSecMean = compSum / float64(p) / 1e9
+	res.ComputeSecMax = float64(compMax) / 1e9
+	res.AlltoallSecMean = a2aSum / float64(p) / 1e9
+	if totSum > 0 {
+		res.CommFraction = a2aSum / (totSum / float64(p)) / float64(p)
+	}
+	return res, nil
+}
+
+func defaultSync() clocksync.HCAConfig { return clocksync.DefaultHCAConfig() }

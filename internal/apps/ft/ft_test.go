@@ -1,0 +1,219 @@
+package ft
+
+import (
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/netmodel"
+	"collsel/internal/trace"
+)
+
+func a2a(t *testing.T, id int) coll.Algorithm {
+	t.Helper()
+	al, ok := coll.ByID(coll.Alltoall, id)
+	if !ok {
+		t.Fatalf("alltoall %d missing", id)
+	}
+	return al
+}
+
+func TestClassGeometry(t *testing.T) {
+	// The paper's headline numbers: class D at 1024 procs -> 32768 B per
+	// pair; class C at 256 procs -> also 32768 B.
+	if got := ClassD.MsgBytesPerPair(1024); got != 32768 {
+		t.Fatalf("class D @1024: %d B", got)
+	}
+	if got := ClassC.MsgBytesPerPair(256); got != 32768 {
+		t.Fatalf("class C @256: %d B", got)
+	}
+	if ClassD.Points() != 2048*1024*1024 {
+		t.Fatal("class D points")
+	}
+	if _, ok := ClassByName("D"); !ok {
+		t.Fatal("class D unresolvable")
+	}
+	if _, ok := ClassByName("Z"); ok {
+		t.Fatal("bogus class resolvable")
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := Run(Config{Platform: netmodel.SimCluster()}); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	// Too many procs for a tiny grid.
+	cfg := Config{Platform: netmodel.SimCluster(), Procs: 1024, Class: Class{Name: "T", NX: 16, NY: 16, NZ: 2, Iterations: 1}, AlltoallAlg: a2a(t, 3)}
+	if _, err := Run(cfg); err == nil {
+		t.Error("oversubscribed grid accepted")
+	}
+}
+
+func smallClass() Class {
+	return Class{Name: "T", NX: 64, NY: 64, NZ: 32, Iterations: 4}
+}
+
+func TestRunProducesPlausibleResult(t *testing.T) {
+	cfg := Config{
+		Platform:    netmodel.Hydra(),
+		Procs:       32,
+		Seed:        1,
+		Class:       smallClass(),
+		AlltoallAlg: a2a(t, 3),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeSec <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+	if res.NumAlltoalls != 5 {
+		t.Fatalf("alltoall count %d, want iterations+1 = 5", res.NumAlltoalls)
+	}
+	wantBytes := 16 * int(smallClass().Points()) / 32 / 32
+	if res.MsgBytesPerPair != wantBytes {
+		t.Fatalf("per-pair bytes %d, want %d", res.MsgBytesPerPair, wantBytes)
+	}
+	if res.ComputeSecMax < res.ComputeSecMean {
+		t.Fatal("max compute below mean")
+	}
+	if res.AlltoallSecMean <= 0 {
+		t.Fatal("no alltoall time recorded")
+	}
+	if res.CommFraction <= 0 || res.CommFraction >= 1 {
+		t.Fatalf("comm fraction %g out of (0,1)", res.CommFraction)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Platform:    netmodel.Galileo100(),
+		Procs:       16,
+		Seed:        7,
+		Class:       smallClass(),
+		AlltoallAlg: a2a(t, 2),
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RuntimeSec != r2.RuntimeSec {
+		t.Fatalf("non-deterministic: %g vs %g", r1.RuntimeSec, r2.RuntimeSec)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) float64 {
+		cfg := Config{Platform: netmodel.Galileo100(), Procs: 16, Seed: seed, Class: smallClass(), AlltoallAlg: a2a(t, 2)}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RuntimeSec
+	}
+	if mk(1) == mk(2) {
+		t.Error("different seeds gave identical runtimes on a noisy machine")
+	}
+}
+
+func TestTracingCapturesAlltoalls(t *testing.T) {
+	tr := trace.New(16)
+	cfg := Config{
+		Platform:    netmodel.Hydra(),
+		Procs:       16,
+		Seed:        3,
+		Class:       smallClass(),
+		AlltoallAlg: a2a(t, 3),
+		Tracer:      tr,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCalls(coll.Alltoall) != res.NumAlltoalls {
+		t.Fatalf("traced %d alltoalls, ran %d", tr.NumCalls(coll.Alltoall), res.NumAlltoalls)
+	}
+	// The noisy machine must produce a non-degenerate arrival pattern.
+	pat, err := tr.Scenario("ft_scenario", coll.Alltoall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.MaxSkewNs() <= 0 {
+		t.Fatal("noisy run produced a perfectly flat arrival pattern")
+	}
+}
+
+func TestNoNoiseFlattensPattern(t *testing.T) {
+	tr := trace.New(16)
+	cfg := Config{
+		Platform:      netmodel.Hydra(),
+		Procs:         16,
+		Seed:          3,
+		Class:         smallClass(),
+		AlltoallAlg:   a2a(t, 3),
+		Tracer:        tr,
+		NoNoise:       true,
+		PerfectClocks: true,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	pat, err := tr.Scenario("flat", coll.Alltoall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without noise the skew should be tiny (only schedule asymmetries).
+	if pat.MaxSkewNs() > 50_000 {
+		t.Fatalf("noiseless run has %d ns skew", pat.MaxSkewNs())
+	}
+}
+
+func TestCommFractionCalibration(t *testing.T) {
+	// On the paper-scale geometry (class C, 16x16 = 256 ranks would be slow
+	// here; use 64 ranks with class B to stay quick), the default
+	// ComputeScale must keep the Alltoall share in a sane band.
+	cfg := Config{
+		Platform:    netmodel.Hydra(),
+		Procs:       64,
+		Seed:        5,
+		Class:       Class{Name: "t2", NX: 256, NY: 128, NZ: 128, Iterations: 3},
+		AlltoallAlg: a2a(t, 2),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommFraction < 0.2 || res.CommFraction > 0.9 {
+		t.Fatalf("comm fraction %.2f outside plausible band", res.CommFraction)
+	}
+}
+
+func TestNonBlockingOverlapSpeedsUpFT(t *testing.T) {
+	run := func(nbc bool) float64 {
+		cfg := Config{
+			Platform:            netmodel.Hydra(),
+			Procs:               32,
+			Seed:                4,
+			Class:               smallClass(),
+			AlltoallAlg:         a2a(t, 2),
+			NonBlockingAlltoall: nbc,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RuntimeSec
+	}
+	blocking := run(false)
+	overlapped := run(true)
+	if overlapped >= blocking {
+		t.Fatalf("non-blocking FT (%.4f s) not faster than blocking (%.4f s)", overlapped, blocking)
+	}
+}

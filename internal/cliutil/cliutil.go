@@ -1,0 +1,61 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"collsel/internal/netmodel"
+)
+
+// ParseSizes parses a comma-separated list of positive byte sizes.
+// An empty string yields nil (callers substitute their default ladder).
+func ParseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad message size %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Machine resolves a platform preset by name with a helpful error.
+func Machine(name string) (*netmodel.Platform, error) {
+	pl := netmodel.ByName(name)
+	if pl == nil {
+		names := make([]string, 0, 4)
+		for _, p := range netmodel.Presets() {
+			names = append(names, p.Name)
+		}
+		return nil, fmt.Errorf("unknown machine %q (available: %s)", name, strings.Join(names, ", "))
+	}
+	return pl, nil
+}
+
+// Machines resolves a comma-separated machine list; empty means the three
+// paper machines.
+func Machines(s string) ([]*netmodel.Platform, error) {
+	if strings.TrimSpace(s) == "" {
+		return []*netmodel.Platform{netmodel.Hydra(), netmodel.Galileo100(), netmodel.Discoverer()}, nil
+	}
+	var out []*netmodel.Platform
+	for _, f := range strings.Split(s, ",") {
+		pl, err := Machine(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pl)
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package cliutil
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	out, err := ParseSizes("8, 1024,32768")
+	if err != nil || len(out) != 3 || out[0] != 8 || out[2] != 32768 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+	if out, err := ParseSizes(""); err != nil || out != nil {
+		t.Fatal("empty input should yield nil, nil")
+	}
+	if _, err := ParseSizes("8,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseSizes("-5"); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestMachine(t *testing.T) {
+	pl, err := Machine("Hydra")
+	if err != nil || pl.Name != "Hydra" {
+		t.Fatalf("%v, %v", pl, err)
+	}
+	if _, err := Machine("atlantis"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestMachines(t *testing.T) {
+	pls, err := Machines("")
+	if err != nil || len(pls) != 3 {
+		t.Fatalf("default machine list: %v, %v", pls, err)
+	}
+	pls, err = Machines("Hydra, Discoverer")
+	if err != nil || len(pls) != 2 || pls[1].Name != "Discoverer" {
+		t.Fatalf("%v, %v", pls, err)
+	}
+	if _, err := Machines("Hydra,nope"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

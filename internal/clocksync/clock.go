@@ -1,0 +1,120 @@
+// Package clocksync models imperfect per-process clocks and implements a
+// hierarchical clock-synchronization algorithm in the style of HCA3
+// (Hunold & Carpen-Amarie, CLUSTER 2018), which the paper uses to obtain a
+// logical global clock with sub-microsecond accuracy.
+//
+// Ground truth: every process clock is a linear function of true simulation
+// time, local(g) = (1+drift)*g + offset. Synchronization estimates, for each
+// process, a linear model mapping its local clock to the reference clock
+// (rank 0) purely from message exchanges — exactly what HCA3 does on a real
+// machine where no process can observe global time.
+package clocksync
+
+import (
+	"math/rand"
+
+	"collsel/internal/netmodel"
+)
+
+// Clock is the ground-truth linear model of one process's local clock.
+type Clock struct {
+	// OffsetNs is the clock's offset from global time at g=0, in ns.
+	OffsetNs float64
+	// Drift is the fractional frequency error (e.g. 20e-6 for 20 ppm).
+	Drift float64
+}
+
+// LocalOf returns the local clock reading (ns, fractional) at global time g.
+func (c Clock) LocalOf(g int64) float64 {
+	return (1+c.Drift)*float64(g) + c.OffsetNs
+}
+
+// GlobalOf returns the global time at which the local clock reads l ns.
+func (c Clock) GlobalOf(l float64) float64 {
+	return (l - c.OffsetNs) / (1 + c.Drift)
+}
+
+// Ensemble is the set of ground-truth clocks for one run.
+type Ensemble struct {
+	clocks []Clock
+}
+
+// NewEnsemble creates size clocks from the profile. Rank 0's clock always
+// has zero offset and drift: it serves as the synchronization reference, as
+// in HCA3. A disabled profile yields identity clocks for every rank.
+func NewEnsemble(profile netmodel.ClockProfile, size int, seed int64) *Ensemble {
+	e := &Ensemble{clocks: make([]Clock, size)}
+	if !profile.Enabled {
+		return e
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0xc10c5eed))
+	for r := 1; r < size; r++ {
+		e.clocks[r] = Clock{
+			OffsetNs: (2*rng.Float64() - 1) * float64(profile.MaxOffsetNs),
+			Drift:    (2*rng.Float64() - 1) * profile.MaxDriftPPM * 1e-6,
+		}
+	}
+	return e
+}
+
+// PerfectEnsemble returns identity clocks for size ranks.
+func PerfectEnsemble(size int) *Ensemble {
+	return &Ensemble{clocks: make([]Clock, size)}
+}
+
+// NewEnsembleFromClocks wraps explicit ground-truth clocks (used by tests
+// and custom machine models).
+func NewEnsembleFromClocks(clocks []Clock) *Ensemble {
+	return &Ensemble{clocks: append([]Clock(nil), clocks...)}
+}
+
+// Clock returns the ground-truth clock of rank r.
+func (e *Ensemble) Clock(r int) Clock { return e.clocks[r] }
+
+// Size returns the number of ranks in the ensemble.
+func (e *Ensemble) Size() int { return len(e.clocks) }
+
+// LocalOf returns rank r's local clock reading at global time g.
+func (e *Ensemble) LocalOf(r int, g int64) float64 { return e.clocks[r].LocalOf(g) }
+
+// GlobalOf returns the global time at which rank r's clock reads l.
+func (e *Ensemble) GlobalOf(r int, l float64) float64 { return e.clocks[r].GlobalOf(l) }
+
+// LinearModel maps one clock to another: ref(x) = Slope*x + InterceptNs.
+// The identity model has Slope 1 and InterceptNs 0.
+type LinearModel struct {
+	Slope       float64
+	InterceptNs float64
+}
+
+// Identity returns the identity mapping.
+func Identity() LinearModel { return LinearModel{Slope: 1} }
+
+// Apply maps a local clock value through the model.
+func (m LinearModel) Apply(localNs float64) float64 {
+	return m.Slope*localNs + m.InterceptNs
+}
+
+// Invert returns the inverse mapping (ref -> local).
+func (m LinearModel) Invert() LinearModel {
+	return LinearModel{Slope: 1 / m.Slope, InterceptNs: -m.InterceptNs / m.Slope}
+}
+
+// Compose returns the model first o, then m: result(x) = m(o(x)).
+func (m LinearModel) Compose(o LinearModel) LinearModel {
+	return LinearModel{
+		Slope:       m.Slope * o.Slope,
+		InterceptNs: m.Slope*o.InterceptNs + m.InterceptNs,
+	}
+}
+
+// TrueModel returns the exact local->reference model for rank r in the
+// ensemble (reference = rank 0's clock). Used by tests to bound estimation
+// error; the synchronization protocol never sees it.
+func (e *Ensemble) TrueModel(r int) LinearModel {
+	// ref(local_r(g)) with ref = clocks[0]: ref(g) = (1+d0)g + o0,
+	// g = (x - or)/(1+dr)  =>  slope = (1+d0)/(1+dr).
+	c0, cr := e.clocks[0], e.clocks[r]
+	slope := (1 + c0.Drift) / (1 + cr.Drift)
+	return LinearModel{Slope: slope, InterceptNs: c0.OffsetNs - slope*cr.OffsetNs}
+}

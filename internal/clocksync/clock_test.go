@@ -1,0 +1,145 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collsel/internal/netmodel"
+)
+
+func TestPerfectEnsembleIsIdentity(t *testing.T) {
+	e := PerfectEnsemble(8)
+	for r := 0; r < 8; r++ {
+		if got := e.LocalOf(r, 12345); got != 12345 {
+			t.Fatalf("rank %d local %g", r, got)
+		}
+		if got := e.GlobalOf(r, 999); got != 999 {
+			t.Fatalf("rank %d global %g", r, got)
+		}
+	}
+}
+
+func TestRankZeroIsReference(t *testing.T) {
+	e := NewEnsemble(netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 1e6, MaxDriftPPM: 50}, 16, 3)
+	c := e.Clock(0)
+	if c.OffsetNs != 0 || c.Drift != 0 {
+		t.Fatalf("rank 0 clock not identity: %+v", c)
+	}
+}
+
+func TestClockRoundTrip(t *testing.T) {
+	c := Clock{OffsetNs: 12_000, Drift: 25e-6}
+	for _, g := range []int64{0, 1, 1_000_000, 3_600_000_000_000} {
+		l := c.LocalOf(g)
+		back := c.GlobalOf(l)
+		if math.Abs(back-float64(g)) > 1e-6*math.Max(1, float64(g))*1e-3 && math.Abs(back-float64(g)) > 1e-3 {
+			t.Fatalf("roundtrip g=%d -> %g", g, back)
+		}
+	}
+}
+
+func TestEnsembleWithinProfileBounds(t *testing.T) {
+	p := netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 500_000, MaxDriftPPM: 30}
+	e := NewEnsemble(p, 64, 9)
+	for r := 0; r < 64; r++ {
+		c := e.Clock(r)
+		if math.Abs(c.OffsetNs) > 500_000 {
+			t.Fatalf("rank %d offset %g out of bounds", r, c.OffsetNs)
+		}
+		if math.Abs(c.Drift) > 30e-6 {
+			t.Fatalf("rank %d drift %g out of bounds", r, c.Drift)
+		}
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	p := netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 1e6, MaxDriftPPM: 20}
+	a, b := NewEnsemble(p, 32, 5), NewEnsemble(p, 32, 5)
+	for r := 0; r < 32; r++ {
+		if a.Clock(r) != b.Clock(r) {
+			t.Fatalf("clock %d differs between identically seeded ensembles", r)
+		}
+	}
+}
+
+func TestLinearModelIdentity(t *testing.T) {
+	m := Identity()
+	if m.Apply(42.5) != 42.5 {
+		t.Fatal("identity model changed value")
+	}
+}
+
+func TestLinearModelInvert(t *testing.T) {
+	m := LinearModel{Slope: 1.0001, InterceptNs: -250}
+	inv := m.Invert()
+	for _, x := range []float64{0, 1e3, 1e9, -5e6} {
+		if got := inv.Apply(m.Apply(x)); math.Abs(got-x) > 1e-6*math.Max(1, math.Abs(x)) {
+			t.Fatalf("invert roundtrip %g -> %g", x, got)
+		}
+	}
+}
+
+func TestLinearModelCompose(t *testing.T) {
+	a := LinearModel{Slope: 2, InterceptNs: 3}
+	b := LinearModel{Slope: 0.5, InterceptNs: -1}
+	c := b.Compose(a) // c(x) = b(a(x)) = 0.5*(2x+3) - 1 = x + 0.5
+	if got := c.Apply(10); math.Abs(got-10.5) > 1e-12 {
+		t.Fatalf("compose: got %g want 10.5", got)
+	}
+}
+
+func TestTrueModelMapsLocalToReference(t *testing.T) {
+	p := netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 2e6, MaxDriftPPM: 40}
+	e := NewEnsemble(p, 8, 11)
+	for r := 0; r < 8; r++ {
+		m := e.TrueModel(r)
+		for _, g := range []int64{0, 1_000_000, 500_000_000} {
+			localR := e.LocalOf(r, g)
+			ref := e.LocalOf(0, g)
+			if got := m.Apply(localR); math.Abs(got-ref) > 1e-3 {
+				t.Fatalf("rank %d at g=%d: model gives %g, reference %g", r, g, got, ref)
+			}
+		}
+	}
+}
+
+func TestComposeAssociativeProperty(t *testing.T) {
+	f := func(s1, i1, s2, i2, s3, i3, x float64) bool {
+		// Constrain slopes away from zero to avoid degenerate models.
+		clamp := func(s float64) float64 { return 0.5 + math.Mod(math.Abs(s), 1.0) }
+		a := LinearModel{Slope: clamp(s1), InterceptNs: math.Mod(i1, 1e6)}
+		b := LinearModel{Slope: clamp(s2), InterceptNs: math.Mod(i2, 1e6)}
+		c := LinearModel{Slope: clamp(s3), InterceptNs: math.Mod(i3, 1e6)}
+		xv := math.Mod(x, 1e9)
+		l := c.Compose(b).Compose(a).Apply(xv)
+		r := c.Compose(b.Compose(a)).Apply(xv)
+		return math.Abs(l-r) <= 1e-6*math.Max(1, math.Abs(l))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 7
+	}
+	slope, icept := fitLine(xs, ys)
+	if math.Abs(slope-2.5) > 1e-12 || math.Abs(icept+7) > 1e-12 {
+		t.Fatalf("fit %g, %g", slope, icept)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	slope, icept := fitLine([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if slope != 0 || math.Abs(icept-2) > 1e-12 {
+		t.Fatalf("degenerate fit: %g, %g", slope, icept)
+	}
+	slope, icept = fitLine(nil, nil)
+	if slope != 0 || icept != 0 {
+		t.Fatalf("empty fit: %g, %g", slope, icept)
+	}
+}

@@ -1,0 +1,174 @@
+package clocksync
+
+import "sort"
+
+// Exchanger is the minimal communication surface the synchronization
+// protocol needs. It is implemented by the MPI runtime's rank handle; the
+// indirection keeps this package free of a dependency on the runtime.
+type Exchanger interface {
+	// Rank returns this process's rank.
+	Rank() int
+	// Size returns the number of participating processes.
+	Size() int
+	// SendFloat sends one float64 to dst with the given tag.
+	SendFloat(dst, tag int, v float64)
+	// RecvFloat receives one float64 from src with the given tag.
+	RecvFloat(src, tag int) float64
+	// LocalNowNs returns the current local clock reading in ns.
+	LocalNowNs() float64
+}
+
+// Tags used by the protocol; chosen high to stay clear of collective tags.
+const (
+	tagPing = 1 << 20
+	tagPong = tagPing + 1
+	tagFan  = tagPing + 2
+	tagDone = tagPing + 3
+)
+
+// HCAConfig tunes the synchronization protocol.
+type HCAConfig struct {
+	// PingPongs is the number of ping-pong exchanges per offset measurement.
+	PingPongs int
+	// FitPoints is the number of offset measurements (spread over time) used
+	// to fit the drift (slope). Minimum 2.
+	FitPoints int
+	// SpacingNs is the local-clock time between consecutive offset
+	// measurements; larger spacing gives better drift estimates.
+	SpacingNs float64
+	// Waiter, when non-nil, is called to busy-wait until the local clock
+	// reaads the given value (used to space out fit points). If nil, fit
+	// points are taken back-to-back (drift estimation degrades gracefully).
+	Waiter func(untilLocalNs float64)
+}
+
+// DefaultHCAConfig mirrors the settings that give HCA3 sub-microsecond
+// precision in practice.
+func DefaultHCAConfig() HCAConfig {
+	return HCAConfig{PingPongs: 12, FitPoints: 4, SpacingNs: 2e6}
+}
+
+// Synchronize runs the hierarchical clock synchronization and returns this
+// rank's estimated local->reference model. All ranks must call it
+// collectively. Rank 0 returns the identity model.
+//
+// Structure (HCA): in round k = 0,1,..., every rank i in
+// [2^k, 2^(k+1)) measures a pairwise linear model against partner i-2^k,
+// which is already synchronized to the reference from earlier rounds, then
+// composes the two models. log2(p) rounds synchronize all p ranks.
+// Afterwards, the composed model is what each process uses to translate its
+// MPI_Wtime values into reference time.
+func Synchronize(ex Exchanger, cfg HCAConfig) LinearModel {
+	if cfg.PingPongs <= 0 {
+		cfg.PingPongs = 12
+	}
+	if cfg.FitPoints < 2 {
+		cfg.FitPoints = 2
+	}
+	rank, size := ex.Rank(), ex.Size()
+	model := Identity()
+
+	for step := 1; step < size; step <<= 1 {
+		if rank >= step && rank < 2*step && rank-step < size {
+			parent := rank - step
+			pair := measurePair(ex, parent, cfg)
+			// parentModel arrives from the parent after it finished its own
+			// earlier rounds.
+			slope := ex.RecvFloat(parent, tagFan)
+			icept := ex.RecvFloat(parent, tagFan)
+			parentModel := LinearModel{Slope: slope, InterceptNs: icept}
+			model = parentModel.Compose(pair)
+		} else if rank < step {
+			child := rank + step
+			if child < size {
+				serveMeasurement(ex, child, cfg)
+				ex.SendFloat(child, tagFan, model.Slope)
+				ex.SendFloat(child, tagFan, model.InterceptNs)
+			}
+		}
+	}
+	return model
+}
+
+// measurePair estimates the linear model mapping this rank's clock to the
+// parent's clock using cfg.FitPoints offset measurements joined by a
+// least-squares line.
+func measurePair(ex Exchanger, parent int, cfg HCAConfig) LinearModel {
+	xs := make([]float64, 0, cfg.FitPoints)
+	ys := make([]float64, 0, cfg.FitPoints)
+	for i := 0; i < cfg.FitPoints; i++ {
+		mid, off := measureOffset(ex, parent, cfg.PingPongs)
+		xs = append(xs, mid)
+		ys = append(ys, off)
+		if i+1 < cfg.FitPoints && cfg.Waiter != nil {
+			cfg.Waiter(ex.LocalNowNs() + cfg.SpacingNs)
+		}
+	}
+	// Signal the parent that measurements are done. A dedicated tag is used
+	// because ping values are raw local clock readings, which may legally be
+	// negative (clocks can start with a negative offset).
+	ex.SendFloat(parent, tagDone, 1)
+
+	slope, icept := fitLine(xs, ys)
+	// offset(local) = slope*local + icept, parent = local + offset
+	return LinearModel{Slope: 1 + slope, InterceptNs: icept}
+}
+
+// measureOffset runs n ping-pongs against the parent and returns the local
+// midpoint time of the best (minimum RTT) exchange together with the offset
+// estimate parent-local at that instant.
+func measureOffset(ex Exchanger, parent, n int) (midLocal, offset float64) {
+	type sample struct{ rtt, mid, off float64 }
+	samples := make([]sample, 0, n)
+	for i := 0; i < n; i++ {
+		t1 := ex.LocalNowNs()
+		ex.SendFloat(parent, tagPing, t1)
+		ts := ex.RecvFloat(parent, tagPong)
+		t2 := ex.LocalNowNs()
+		samples = append(samples, sample{
+			rtt: t2 - t1,
+			mid: (t1 + t2) / 2,
+			off: ts - (t1+t2)/2,
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].rtt < samples[j].rtt })
+	best := samples[0]
+	return best.mid, best.off
+}
+
+// serveMeasurement answers the deterministic number of ping-pongs from
+// child (FitPoints x PingPongs), then absorbs the completion signal.
+func serveMeasurement(ex Exchanger, child int, cfg HCAConfig) {
+	total := cfg.FitPoints * cfg.PingPongs
+	for i := 0; i < total; i++ {
+		ex.RecvFloat(child, tagPing)
+		ex.SendFloat(child, tagPong, ex.LocalNowNs())
+	}
+	ex.RecvFloat(child, tagDone)
+}
+
+// fitLine computes the least-squares line y = slope*x + icept.
+// With fewer than two distinct x values it returns a constant-offset model.
+func fitLine(xs, ys []float64) (slope, icept float64) {
+	n := float64(len(xs))
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}

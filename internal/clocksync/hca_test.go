@@ -1,0 +1,160 @@
+package clocksync
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// fakePair is a deterministic two-rank in-memory Exchanger: a shared
+// virtual clock advances by a fixed quantum per operation, each rank reads
+// it through its own (drifting) local clock, and messages travel through
+// buffered channels with a constant simulated latency. Constant symmetric
+// latencies mean the ping-pong offset estimation should be near-exact.
+type fakePair struct {
+	mu    *sync.Mutex
+	now   *float64 // shared true time, ns
+	rank  int
+	clock [2]Clock
+	ch    [2]map[int]chan float64 // ch[dst][tag]
+}
+
+func newFakePair(c0, c1 Clock) (a, b *fakePair) {
+	mu := &sync.Mutex{}
+	now := new(float64)
+	mk := func() map[int]chan float64 {
+		return map[int]chan float64{
+			tagPing: make(chan float64, 64),
+			tagPong: make(chan float64, 64),
+			tagFan:  make(chan float64, 64),
+			tagDone: make(chan float64, 64),
+		}
+	}
+	ch := [2]map[int]chan float64{mk(), mk()}
+	a = &fakePair{mu: mu, now: now, rank: 0, clock: [2]Clock{c0, c1}, ch: ch}
+	b = &fakePair{mu: mu, now: now, rank: 1, clock: [2]Clock{c0, c1}, ch: ch}
+	return a, b
+}
+
+const fakeQuantumNs = 750 // per-operation time advance (half a "latency")
+
+func (f *fakePair) advance() float64 {
+	f.mu.Lock()
+	*f.now += fakeQuantumNs
+	v := *f.now
+	f.mu.Unlock()
+	return v
+}
+
+func (f *fakePair) Rank() int { return f.rank }
+func (f *fakePair) Size() int { return 2 }
+func (f *fakePair) SendFloat(dst, tag int, v float64) {
+	f.advance()
+	f.ch[dst][tag] <- v
+}
+func (f *fakePair) RecvFloat(src, tag int) float64 {
+	v := <-f.ch[f.rank][tag]
+	f.advance()
+	return v
+}
+func (f *fakePair) LocalNowNs() float64 {
+	f.mu.Lock()
+	t := *f.now
+	f.mu.Unlock()
+	return f.clock[f.rank].LocalOf(int64(t))
+}
+
+func TestSynchronizeTwoRanks(t *testing.T) {
+	c0 := Clock{}                                  // reference
+	c1 := Clock{OffsetNs: 1_500_000, Drift: 20e-6} // child clock
+	a, b := newFakePair(c0, c1)
+
+	cfg := HCAConfig{PingPongs: 8, FitPoints: 3, SpacingNs: 1e6}
+	var parentModel, childModel LinearModel
+	done := make(chan struct{})
+	go func() {
+		parentModel = Synchronize(a, cfg)
+		done <- struct{}{}
+	}()
+	childModel = Synchronize(b, cfg)
+	<-done
+
+	if parentModel != Identity() {
+		t.Errorf("rank 0 model not identity: %+v", parentModel)
+	}
+	// The child's model must map its local clock to the reference within a
+	// small error at an arbitrary later instant.
+	e := NewEnsembleFromClocks([]Clock{c0, c1})
+	trueModel := e.TrueModel(1)
+	for _, g := range []int64{1_000_000, 50_000_000} {
+		local := c1.LocalOf(g)
+		got := childModel.Apply(local)
+		want := trueModel.Apply(local)
+		if math.Abs(got-want) > 5_000 {
+			t.Errorf("at g=%d: estimated ref %.0f, true %.0f (err %.0f ns)", g, got, want, got-want)
+		}
+	}
+}
+
+func TestSynchronizeSingleRank(t *testing.T) {
+	a, _ := newFakePair(Clock{}, Clock{})
+	solo := &soloEx{fakePair: a}
+	if m := Synchronize(solo, DefaultHCAConfig()); m != Identity() {
+		t.Errorf("single rank model %+v", m)
+	}
+}
+
+type soloEx struct{ *fakePair }
+
+func (s *soloEx) Size() int { return 1 }
+
+func TestSynchronizeNormalizesConfig(t *testing.T) {
+	// Zero/invalid config values fall back to defaults rather than hanging:
+	// run with PingPongs=0, FitPoints=0 on a pair.
+	c1 := Clock{OffsetNs: -400_000, Drift: -10e-6}
+	a, b := newFakePair(Clock{}, c1)
+	cfg := HCAConfig{} // all zero
+	done := make(chan struct{})
+	go func() {
+		Synchronize(a, cfg)
+		done <- struct{}{}
+	}()
+	m := Synchronize(b, cfg)
+	<-done
+	e := NewEnsembleFromClocks([]Clock{{}, c1})
+	want := e.TrueModel(1).Apply(c1.LocalOf(10_000_000))
+	got := m.Apply(c1.LocalOf(10_000_000))
+	if math.Abs(got-want) > 10_000 {
+		t.Errorf("defaulted config model error %.0f ns", got-want)
+	}
+}
+
+func TestMeasureOffsetPicksMinRTT(t *testing.T) {
+	// Directly exercise measureOffset through the public Synchronize path is
+	// covered above; here check the helper behaviour with a crafted server
+	// that delays the first pong, making sample 0 an outlier.
+	c1 := Clock{OffsetNs: 777_000}
+	a, b := newFakePair(Clock{}, c1)
+	go func() {
+		// Parent: delay before serving the first ping (inflates RTT 0).
+		for i := 0; i < 6; i++ {
+			v := <-a.ch[0][tagPing]
+			_ = v
+			if i == 0 {
+				for j := 0; j < 50; j++ {
+					a.advance()
+				}
+			}
+			a.SendFloat(1, tagPong, a.LocalNowNs())
+		}
+	}()
+	mid, off := measureOffset(b, 0, 6)
+	if mid <= 0 {
+		t.Errorf("mid %f", mid)
+	}
+	// measureOffset estimates parent-minus-child; the child runs 777 us
+	// ahead, so the estimate must be ~-777 us despite the RTT outlier.
+	if math.Abs(off+777_000) > 3_000 {
+		t.Errorf("offset estimate %.0f, want ~-777000", off)
+	}
+}

@@ -1,0 +1,211 @@
+package coll
+
+import (
+	"fmt"
+
+	"collsel/internal/mpi"
+)
+
+// Alltoall algorithms. Table II (Open MPI 4.1.x coll_tuned):
+//   1 basic linear, 2 pairwise, 3 modified Bruck, 4 linear with sync.
+// SimGrid alias used in Fig. 4c: bruck, basic_linear, pair, ring.
+
+func init() {
+	register(Algorithm{Coll: Alltoall, ID: 1, Name: "basic_linear", Abbrev: "Lin", SimGridName: "basic_linear", Run: alltoallBasicLinear})
+	register(Algorithm{Coll: Alltoall, ID: 2, Name: "pairwise", Abbrev: "Pair", SimGridName: "pair", Run: alltoallPairwise})
+	register(Algorithm{Coll: Alltoall, ID: 3, Name: "bruck", Abbrev: "M-Bruck", SimGridName: "bruck", Run: alltoallBruck})
+	register(Algorithm{Coll: Alltoall, ID: 4, Name: "linear_sync", Abbrev: "L-Sync", SimGridName: "basic_linear_sync", Run: alltoallLinearSync})
+	register(Algorithm{Coll: Alltoall, Name: "ring", SimGridName: "ring", Run: alltoallRing})
+}
+
+// checkAlltoallArgs validates the alltoall argument shape: Count elements
+// per destination, p*Count total.
+func checkAlltoallArgs(a *Args) error {
+	if a.Count <= 0 {
+		return fmt.Errorf("coll: count must be positive, got %d", a.Count)
+	}
+	if len(a.Data) != a.Count*a.size() {
+		return fmt.Errorf("coll: rank %d alltoall data length %d != count*p = %d", a.me(), len(a.Data), a.Count*a.size())
+	}
+	return nil
+}
+
+// chunk returns the slice of a.Data destined to rank d.
+func chunk(a *Args, data []float64, d int) []float64 {
+	return data[d*a.Count : (d+1)*a.Count]
+}
+
+// alltoallBasicLinear: post all receives and all sends at once, wait for
+// everything (Open MPI coll_basic linear alltoall). Maximum overlap, but
+// also maximum port contention at scale.
+func alltoallBasicLinear(a *Args) ([]float64, error) {
+	if err := checkAlltoallArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	res := make([]float64, p*a.Count)
+	copy(chunk(a, res, me), chunk(a, a.Data, me))
+	chargeCopy(a, a.Count)
+	if p == 1 {
+		return res, nil
+	}
+	reqs := make([]*mpi.Request, 0, 2*(p-1))
+	recvIdx := make([]int, 0, p-1)
+	// Open MPI posts receives from (me+1), (me+2), ... and sends likewise.
+	for i := 1; i < p; i++ {
+		src := (me + i) % p
+		reqs = append(reqs, a.R.Irecv(src, a.Tag))
+		recvIdx = append(recvIdx, src)
+	}
+	for i := 1; i < p; i++ {
+		dst := (me + i) % p
+		reqs = append(reqs, a.R.Isend(dst, a.Tag, clonev(chunk(a, a.Data, dst)), a.Bytes(a.Count)))
+	}
+	msgs := mpi.Waitall(reqs...)
+	for i, src := range recvIdx {
+		copy(chunk(a, res, src), msgs[i].Data)
+	}
+	return res, nil
+}
+
+// alltoallPairwise: p-1 rounds; in round s, exchange with (me+s) / (me-s)
+// via sendrecv. One partner at a time keeps ports uncontended but
+// synchronizes the ring every step.
+func alltoallPairwise(a *Args) ([]float64, error) {
+	if err := checkAlltoallArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	res := make([]float64, p*a.Count)
+	copy(chunk(a, res, me), chunk(a, a.Data, me))
+	chargeCopy(a, a.Count)
+	for s := 1; s < p; s++ {
+		sendTo := (me + s) % p
+		recvFrom := (me - s + p) % p
+		m := a.R.Sendrecv(sendTo, a.Tag+s, clonev(chunk(a, a.Data, sendTo)), a.Bytes(a.Count), recvFrom, a.Tag+s)
+		copy(chunk(a, res, recvFrom), m.Data)
+	}
+	return res, nil
+}
+
+// alltoallBruck: the modified Bruck algorithm — ceil(log2 p) rounds, each
+// moving about half the blocks as one aggregated message. Latency-optimal
+// for small messages at the price of extra copying and larger volume.
+func alltoallBruck(a *Args) ([]float64, error) {
+	if err := checkAlltoallArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	if p == 1 {
+		res := clonev(a.Data)
+		chargeCopy(a, a.Count)
+		return res, nil
+	}
+	// Phase 1: local rotation. blocks[k] = my data for rank (me+k) mod p.
+	blocks := make([][]float64, p)
+	for k := 0; k < p; k++ {
+		blocks[k] = clonev(chunk(a, a.Data, (me+k)%p))
+	}
+	chargeCopy(a, a.Count*p)
+
+	// Phase 2: for each bit, ship all blocks whose index has the bit set to
+	// rank (me+bit), receive the same set from (me-bit). Blocks are packed
+	// into a single message.
+	for bit := 1; bit < p; bit <<= 1 {
+		dst := (me + bit) % p
+		src := (me - bit + p) % p
+		var idxs []int
+		for k := 0; k < p; k++ {
+			if k&bit != 0 {
+				idxs = append(idxs, k)
+			}
+		}
+		packed := make([]float64, 0, len(idxs)*a.Count)
+		for _, k := range idxs {
+			packed = append(packed, blocks[k]...)
+		}
+		chargeCopy(a, len(idxs)*a.Count)
+		m := a.R.Sendrecv(dst, a.Tag+bit, packed, a.Bytes(len(packed)), src, a.Tag+bit)
+		for i, k := range idxs {
+			blocks[k] = clonev(m.Data[i*a.Count : (i+1)*a.Count])
+		}
+		chargeCopy(a, len(idxs)*a.Count)
+	}
+
+	// Phase 3: inverse rotation. After the exchange rounds, blocks[k] holds
+	// the data sent *to me* by rank (me-k) mod p.
+	res := make([]float64, p*a.Count)
+	for k := 0; k < p; k++ {
+		srcRank := (me - k + p) % p
+		copy(chunk(a, res, srcRank), blocks[k])
+	}
+	chargeCopy(a, a.Count*p)
+	return res, nil
+}
+
+// alltoallLinearSync: Open MPI's linear with sync — like basic linear, but
+// sends use the synchronous mode (forced rendezvous handshake) and only a
+// small window of pairs is kept in flight. The handshakes couple every pair
+// of ranks, which is why this algorithm reacts strongly to some arrival
+// patterns (fast in No-delay, terrible when the first process is delayed).
+func alltoallLinearSync(a *Args) ([]float64, error) {
+	const window = 2 // outstanding send/recv pairs, Open MPI default
+	if err := checkAlltoallArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	res := make([]float64, p*a.Count)
+	copy(chunk(a, res, me), chunk(a, a.Data, me))
+	chargeCopy(a, a.Count)
+	if p == 1 {
+		return res, nil
+	}
+	type slot struct {
+		rq, sq *mpi.Request
+		src    int
+	}
+	slots := make([]slot, 0, window)
+	flush := func(n int) {
+		for len(slots) > n {
+			s := slots[0]
+			slots = slots[1:]
+			m := s.rq.Wait()
+			copy(chunk(a, res, s.src), m.Data)
+			s.sq.Wait()
+		}
+	}
+	for i := 1; i < p; i++ {
+		src := (me - i + p) % p
+		dst := (me + i) % p
+		rq := a.R.Irecv(src, a.Tag)
+		sq := a.R.Issend(dst, a.Tag, clonev(chunk(a, a.Data, dst)), a.Bytes(a.Count))
+		slots = append(slots, slot{rq: rq, sq: sq, src: src})
+		flush(window - 1)
+	}
+	flush(0)
+	return res, nil
+}
+
+// alltoallRing: p-1 rounds around a directed ring; round s sends to me+1
+// the chunk for rank me+s... SimGrid's "ring" alltoall sends directly to
+// (me+s) while receiving from (me-s), without the pairwise coupling
+// (nonblocking both sides, one round in flight).
+func alltoallRing(a *Args) ([]float64, error) {
+	if err := checkAlltoallArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	res := make([]float64, p*a.Count)
+	copy(chunk(a, res, me), chunk(a, a.Data, me))
+	chargeCopy(a, a.Count)
+	for s := 1; s < p; s++ {
+		sendTo := (me + s) % p
+		recvFrom := (me - s + p) % p
+		rq := a.R.Irecv(recvFrom, a.Tag+s)
+		sq := a.R.Isend(sendTo, a.Tag+s, clonev(chunk(a, a.Data, sendTo)), a.Bytes(a.Count))
+		m := rq.Wait()
+		copy(chunk(a, res, recvFrom), m.Data)
+		sq.Wait()
+	}
+	return res, nil
+}

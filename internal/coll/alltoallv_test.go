@@ -1,0 +1,132 @@
+package coll
+
+import (
+	"testing"
+
+	"collsel/internal/mpi"
+)
+
+// vCounts builds an asymmetric counts matrix: rank i sends (i+j)%3+1
+// elements to rank j.
+func vCounts(p int) [][]int {
+	m := make([][]int, p)
+	for i := range m {
+		m[i] = make([]int, p)
+		for j := range m[i] {
+			m[i][j] = (i+j)%3 + 1
+		}
+	}
+	return m
+}
+
+func TestAlltoallvAlgorithmsCorrect(t *testing.T) {
+	for _, al := range Algorithms(Alltoallv) {
+		al := al
+		t.Run(al.Name, func(t *testing.T) {
+			for _, p := range []int{1, 2, 3, 5, 8, 16} {
+				counts := vCounts(p)
+				w := newWorld(t, p)
+				out := make([][]float64, p)
+				err := w.Run(func(r *mpi.Rank) {
+					me := r.ID()
+					var data []float64
+					for d := 0; d < p; d++ {
+						for e := 0; e < counts[me][d]; e++ {
+							data = append(data, float64(me*1000+d*10+e))
+						}
+					}
+					a := &Args{R: r, Data: data, Counts: counts[me], Count: 1, Tag: NextTag(r)}
+					res, err := al.Run(a)
+					if err != nil {
+						r.Abort("%v", err)
+					}
+					out[me] = res
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for dst := 0; dst < p; dst++ {
+					var want []float64
+					for src := 0; src < p; src++ {
+						for e := 0; e < counts[src][dst]; e++ {
+							want = append(want, float64(src*1000+dst*10+e))
+						}
+					}
+					if len(out[dst]) != len(want) {
+						t.Fatalf("p=%d rank %d: got %d elements, want %d", p, dst, len(out[dst]), len(want))
+					}
+					for i := range want {
+						if out[dst][i] != want[i] {
+							t.Fatalf("p=%d rank %d elem %d: got %g want %g", p, dst, i, out[dst][i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallvZeroCounts(t *testing.T) {
+	// Zero-sized exchanges must be legal (common in irregular apps).
+	al, _ := ByID(Alltoallv, 2)
+	p := 4
+	w := newWorld(t, p)
+	out := make([][]float64, p)
+	err := w.Run(func(r *mpi.Rank) {
+		me := r.ID()
+		counts := make([]int, p)
+		var data []float64
+		// Only send to rank 0: everyone else gets zero elements.
+		counts[0] = me + 1
+		for e := 0; e < counts[0]; e++ {
+			data = append(data, float64(me))
+		}
+		a := &Args{R: r, Data: data, Counts: counts, Count: 1, Tag: NextTag(r)}
+		res, err := al.Run(a)
+		if err != nil {
+			r.Abort("%v", err)
+		}
+		out[me] = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 receives 1+2+3+4 = 10 elements; others receive nothing.
+	if len(out[0]) != 10 {
+		t.Fatalf("rank 0 got %d elements", len(out[0]))
+	}
+	for rk := 1; rk < p; rk++ {
+		if len(out[rk]) != 0 {
+			t.Fatalf("rank %d got %d elements, want 0", rk, len(out[rk]))
+		}
+	}
+}
+
+func TestAlltoallvRejectsBadArgs(t *testing.T) {
+	al, _ := ByID(Alltoallv, 1)
+	cases := []struct {
+		counts []int
+		data   int
+	}{
+		{[]int{1}, 1},     // wrong counts length for p=2
+		{[]int{1, -1}, 0}, // negative count
+		{[]int{1, 2}, 5},  // data length mismatch
+	}
+	for i, c := range cases {
+		w := newWorld(t, 2)
+		var rerr error
+		err := w.Run(func(r *mpi.Rank) {
+			a := &Args{R: r, Data: make([]float64, c.data), Counts: c.counts, Count: 1, Tag: NextTag(r)}
+			_, e := al.Run(a)
+			if r.ID() == 0 {
+				rerr = e
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rerr == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package coll
+
+import (
+	"fmt"
+
+	"collsel/internal/mpi"
+)
+
+// Barrier algorithms, following Open MPI 4.1.x coll_tuned ids:
+//   1 linear (fan-in/fan-out through rank 0), 2 double ring,
+//   3 recursive doubling, 4 bruck (dissemination), 6 tree (binomial).
+// (id 5 is the two-process special case, which every algorithm here
+// already handles.)
+
+func init() {
+	register(Algorithm{Coll: Barrier, ID: 1, Name: "linear", Abbrev: "Lin", Run: barrierLinear})
+	register(Algorithm{Coll: Barrier, ID: 2, Name: "double_ring", Abbrev: "D-Ring", Run: barrierDoubleRing})
+	register(Algorithm{Coll: Barrier, ID: 3, Name: "recursive_doubling", Abbrev: "Rec-Dbl", Run: barrierRecursiveDoubling})
+	register(Algorithm{Coll: Barrier, ID: 4, Name: "dissemination", Abbrev: "Diss", Run: barrierDissemination})
+	register(Algorithm{Coll: Barrier, ID: 6, Name: "tree", Abbrev: "Tree", Run: barrierBinomial})
+}
+
+// barrierLinear: every rank reports to rank 0 and waits for its release.
+func barrierLinear(a *Args) ([]float64, error) {
+	if err := checkBarrierArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	if p == 1 {
+		return nil, nil
+	}
+	if me == 0 {
+		reqs := make([]*mpiRequest, 0, p-1)
+		for s := 1; s < p; s++ {
+			reqs = append(reqs, a.R.Irecv(s, a.Tag))
+		}
+		waitall(reqs)
+		for s := 1; s < p; s++ {
+			a.R.Isend(s, a.Tag+1, nil, 1)
+		}
+		// Releases are fire-and-forget eager messages; the sends complete
+		// locally and the barrier semantics only require arrivals.
+		return nil, nil
+	}
+	a.R.Send(0, a.Tag, nil, 1)
+	a.R.Recv(0, a.Tag+1)
+	return nil, nil
+}
+
+// barrierDoubleRing: a token circulates the ring twice; the first pass
+// establishes that everyone arrived, the second releases everyone.
+func barrierDoubleRing(a *Args) ([]float64, error) {
+	if err := checkBarrierArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	if p == 1 {
+		return nil, nil
+	}
+	next, prev := (me+1)%p, (me-1+p)%p
+	if me == 0 {
+		a.R.Send(next, a.Tag, nil, 1)
+		a.R.Recv(prev, a.Tag)
+		a.R.Send(next, a.Tag+1, nil, 1)
+		a.R.Recv(prev, a.Tag+1)
+		return nil, nil
+	}
+	a.R.Recv(prev, a.Tag)
+	a.R.Send(next, a.Tag, nil, 1)
+	a.R.Recv(prev, a.Tag+1)
+	a.R.Send(next, a.Tag+1, nil, 1)
+	return nil, nil
+}
+
+// barrierRecursiveDoubling: pairwise exchanges at doubling distances; the
+// non-power-of-two excess folds into the power-of-two group first.
+func barrierRecursiveDoubling(a *Args) ([]float64, error) {
+	if err := checkBarrierArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	if p == 1 {
+		return nil, nil
+	}
+	pof2 := nearestPow2LE(p)
+	rem := p - pof2
+	newRank := -1
+	if me < 2*rem {
+		if me%2 == 0 {
+			a.R.Send(me+1, a.Tag, nil, 1)
+		} else {
+			a.R.Recv(me-1, a.Tag)
+			newRank = me / 2
+		}
+	} else {
+		newRank = me - rem
+	}
+	toReal := func(g int) int {
+		if g >= rem {
+			return g + rem
+		}
+		return 2*g + 1
+	}
+	if newRank >= 0 {
+		for b := 1; b < pof2; b <<= 1 {
+			peer := toReal(newRank ^ b)
+			a.R.Sendrecv(peer, a.Tag+1+b, nil, 1, peer, a.Tag+1+b)
+		}
+	}
+	if me < 2*rem {
+		if me%2 == 0 {
+			a.R.Recv(me+1, a.Tag+tagSpan/4)
+		} else {
+			a.R.Send(me-1, a.Tag+tagSpan/4, nil, 1)
+		}
+	}
+	return nil, nil
+}
+
+func checkBarrierArgs(a *Args) error {
+	if a.R == nil {
+		return fmt.Errorf("coll: nil rank")
+	}
+	return nil
+}
+
+// barrierDissemination: ceil(log2 p) rounds; in round k each rank signals
+// (me+2^k) and waits for (me-2^k). After the last round every rank has a
+// causal dependency on every other, so none can leave before the last
+// arrives.
+func barrierDissemination(a *Args) ([]float64, error) {
+	if err := checkBarrierArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	for b := 1; b < p; b <<= 1 {
+		to := (me + b) % p
+		from := (me - b + p) % p
+		a.R.Sendrecv(to, a.Tag+b, nil, 1, from, a.Tag+b)
+	}
+	return nil, nil
+}
+
+// barrierBinomial: fan-in to rank 0 along a binomial tree, then fan-out.
+func barrierBinomial(a *Args) ([]float64, error) {
+	if err := checkBarrierArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	if p == 1 {
+		return nil, nil
+	}
+	t := binomialTree(me, 0, p)
+	// Fan-in: wait for all children, then notify parent.
+	for _, c := range t.children {
+		a.R.Recv(c, a.Tag)
+	}
+	if t.parent >= 0 {
+		a.R.Send(t.parent, a.Tag, nil, 1)
+		a.R.Recv(t.parent, a.Tag+1)
+	}
+	// Fan-out: release children.
+	for _, c := range t.children {
+		a.R.Send(c, a.Tag+1, nil, 1)
+	}
+	return nil, nil
+}
+
+// RunBarrier runs the dissemination barrier on r with a fresh tag;
+// harnesses use it between measurement windows.
+func RunBarrier(r *mpi.Rank) error {
+	_, err := barrierDissemination(&Args{R: r, Count: 1, Tag: NextTag(r)})
+	return err
+}

@@ -1,0 +1,269 @@
+package coll
+
+import (
+	"fmt"
+
+	"collsel/internal/mpi"
+)
+
+// Gather, Scatter and Allgather algorithms. These are substrates: the paper
+// discusses them as related collectives and some composite algorithms
+// (Rabenseifner variants, scatter+allgather bcast) are built from their
+// schedules.
+
+func init() {
+	register(Algorithm{Coll: Gather, ID: 1, Name: "linear", Abbrev: "Lin", Run: gatherLinear})
+	register(Algorithm{Coll: Gather, ID: 2, Name: "binomial", Abbrev: "Binom", Run: gatherBinomial})
+	register(Algorithm{Coll: Scatter, ID: 1, Name: "linear", Abbrev: "Lin", Run: scatterLinear})
+	register(Algorithm{Coll: Scatter, ID: 2, Name: "binomial", Abbrev: "Binom", Run: scatterBinomial})
+	register(Algorithm{Coll: Allgather, ID: 1, Name: "linear", Abbrev: "Lin", Run: allgatherLinear})
+	register(Algorithm{Coll: Allgather, ID: 2, Name: "bruck", Abbrev: "Bruck", Run: allgatherBruck})
+	register(Algorithm{Coll: Allgather, ID: 3, Name: "recursive_doubling", Abbrev: "Rec-Dbl", Run: allgatherRecursiveDoubling})
+	register(Algorithm{Coll: Allgather, ID: 4, Name: "ring", Abbrev: "Ring", Run: allgatherRing})
+}
+
+func checkGatherArgs(a *Args) error {
+	if a.Count <= 0 {
+		return fmt.Errorf("coll: count must be positive, got %d", a.Count)
+	}
+	if a.Root < 0 || a.Root >= a.size() {
+		return fmt.Errorf("coll: root %d out of range", a.Root)
+	}
+	if len(a.Data) != a.Count {
+		return fmt.Errorf("coll: rank %d gather/allgather data length %d != count %d", a.me(), len(a.Data), a.Count)
+	}
+	return nil
+}
+
+// gatherLinear: everyone sends Count elements straight to the root.
+func gatherLinear(a *Args) ([]float64, error) {
+	if err := checkGatherArgs(a); err != nil {
+		return nil, err
+	}
+	p, me, root := a.size(), a.me(), a.Root
+	if me != root {
+		a.R.Send(root, a.Tag, a.Data, a.Bytes(a.Count))
+		return nil, nil
+	}
+	res := make([]float64, p*a.Count)
+	copy(res[me*a.Count:(me+1)*a.Count], a.Data)
+	reqs := make([]*mpi.Request, 0, p-1)
+	srcs := make([]int, 0, p-1)
+	for s := 0; s < p; s++ {
+		if s == root {
+			continue
+		}
+		reqs = append(reqs, a.R.Irecv(s, a.Tag))
+		srcs = append(srcs, s)
+	}
+	for i, q := range reqs {
+		m := q.Wait()
+		s := srcs[i]
+		copy(res[s*a.Count:(s+1)*a.Count], m.Data)
+	}
+	return res, nil
+}
+
+// gatherBinomial: children aggregate their subtree's blocks and forward
+// them up a binomial tree. Virtual rank v holds blocks [v, v+2^k) of the
+// rotated ordering at step k.
+func gatherBinomial(a *Args) ([]float64, error) {
+	if err := checkGatherArgs(a); err != nil {
+		return nil, err
+	}
+	p, me, root := a.size(), a.me(), a.Root
+	if p == 1 {
+		return clonev(a.Data), nil
+	}
+	v := vrank(me, root, p)
+	// buf holds blocks indexed by virtual rank, buf[w] for w in [v, hiV).
+	buf := make([]float64, p*a.Count)
+	copy(buf[v*a.Count:(v+1)*a.Count], a.Data)
+	hiV := v + 1
+	for bit := 1; bit < p; bit <<= 1 {
+		if v&bit != 0 {
+			parent := rrank(v^bit, root, p)
+			a.R.Send(parent, a.Tag, clonev(buf[v*a.Count:hiV*a.Count]), a.Bytes((hiV-v)*a.Count))
+			return nil, nil
+		}
+		childV := v | bit
+		if childV < p {
+			m := a.R.Recv(rrank(childV, root, p), a.Tag)
+			copy(buf[childV*a.Count:childV*a.Count+len(m.Data)], m.Data)
+			hiV = minInt(childV+bit, p)
+		}
+	}
+	// Only the root (v == 0) reaches here; undo the virtual rotation.
+	res := make([]float64, p*a.Count)
+	for w := 0; w < p; w++ {
+		real := rrank(w, root, p)
+		copy(res[real*a.Count:(real+1)*a.Count], buf[w*a.Count:(w+1)*a.Count])
+	}
+	chargeCopy(a, p*a.Count)
+	return res, nil
+}
+
+func checkScatterArgs(a *Args) error {
+	if a.Count <= 0 {
+		return fmt.Errorf("coll: count must be positive, got %d", a.Count)
+	}
+	if a.Root < 0 || a.Root >= a.size() {
+		return fmt.Errorf("coll: root %d out of range", a.Root)
+	}
+	if a.me() == a.Root && len(a.Data) != a.Count*a.size() {
+		return fmt.Errorf("coll: root scatter data length %d != count*p = %d", len(a.Data), a.Count*a.size())
+	}
+	return nil
+}
+
+// scatterLinear: the root sends each rank its block directly.
+func scatterLinear(a *Args) ([]float64, error) {
+	if err := checkScatterArgs(a); err != nil {
+		return nil, err
+	}
+	p, me, root := a.size(), a.me(), a.Root
+	if p == 1 {
+		return clonev(a.Data[:a.Count]), nil
+	}
+	if me == root {
+		reqs := make([]*mpi.Request, 0, p-1)
+		for d := 0; d < p; d++ {
+			if d == root {
+				continue
+			}
+			reqs = append(reqs, a.R.Isend(d, a.Tag, clonev(a.Data[d*a.Count:(d+1)*a.Count]), a.Bytes(a.Count)))
+		}
+		mpi.Waitall(reqs...)
+		return clonev(a.Data[root*a.Count : (root+1)*a.Count]), nil
+	}
+	return a.R.Recv(root, a.Tag).Data, nil
+}
+
+// scatterBinomial: the root splits its buffer down a binomial tree; each
+// inner node forwards the halves belonging to its subtree.
+func scatterBinomial(a *Args) ([]float64, error) {
+	if err := checkScatterArgs(a); err != nil {
+		return nil, err
+	}
+	p, me, root := a.size(), a.me(), a.Root
+	if p == 1 {
+		return clonev(a.Data[:a.Count]), nil
+	}
+	v := vrank(me, root, p)
+	// Virtual-block buffer: on arrival, node v holds blocks [v, v+low(v)).
+	buf := make([]float64, p*a.Count)
+	if me == root {
+		for w := 0; w < p; w++ {
+			real := rrank(w, root, p)
+			copy(buf[w*a.Count:(w+1)*a.Count], a.Data[real*a.Count:(real+1)*a.Count])
+		}
+		chargeCopy(a, p*a.Count)
+	} else {
+		low := v & (-v)
+		parent := rrank(v^low, root, p)
+		m := a.R.Recv(parent, a.Tag)
+		copy(buf[v*a.Count:v*a.Count+len(m.Data)], m.Data)
+	}
+	highBit := nearestPow2LE(maxInt(1, p-1))
+	for b := highBit; b >= 1; b >>= 1 {
+		if v&(2*b-1) == 0 {
+			cv := v + b
+			if cv < p {
+				hiC := minInt(cv+b, p)
+				a.R.Send(rrank(cv, root, p), a.Tag, clonev(buf[cv*a.Count:hiC*a.Count]), a.Bytes((hiC-cv)*a.Count))
+			}
+		}
+	}
+	return clonev(buf[v*a.Count : (v+1)*a.Count]), nil
+}
+
+// allgatherLinear: gather to rank 0 then broadcast (coll_basic).
+func allgatherLinear(a *Args) ([]float64, error) {
+	if err := checkGatherArgs(a); err != nil {
+		return nil, err
+	}
+	sub := subArgs(a, a.Data, 0)
+	sub.Root = 0
+	gathered, err := gatherLinear(sub)
+	if err != nil {
+		return nil, err
+	}
+	bc := subArgs(a, gathered, tagSpan/2)
+	bc.Root = 0
+	bc.Count = a.Count * a.size()
+	return bcastBinomial(bc)
+}
+
+// allgatherBruck: log2(p) rounds, doubling the gathered prefix each round.
+func allgatherBruck(a *Args) ([]float64, error) {
+	if err := checkGatherArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	// blocks[k] = block of rank (me+k) mod p, filled progressively.
+	blocks := make([]float64, p*a.Count)
+	copy(blocks[:a.Count], a.Data)
+	have := 1
+	for bit := 1; bit < p; bit <<= 1 {
+		dst := (me - bit + p) % p
+		src := (me + bit) % p
+		n := minInt(have, p-have) // blocks still missing may be fewer
+		m := a.R.Sendrecv(dst, a.Tag+bit, clonev(blocks[:n*a.Count]), a.Bytes(n*a.Count), src, a.Tag+bit)
+		copy(blocks[have*a.Count:have*a.Count+len(m.Data)], m.Data)
+		have += n
+	}
+	// Unrotate: blocks[k] belongs to rank (me+k) mod p.
+	res := make([]float64, p*a.Count)
+	for k := 0; k < p; k++ {
+		real := (me + k) % p
+		copy(res[real*a.Count:(real+1)*a.Count], blocks[k*a.Count:(k+1)*a.Count])
+	}
+	chargeCopy(a, p*a.Count)
+	return res, nil
+}
+
+// allgatherRecursiveDoubling: power-of-two butterfly; non-power-of-two
+// sizes fall back to ring.
+func allgatherRecursiveDoubling(a *Args) ([]float64, error) {
+	if err := checkGatherArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	if p&(p-1) != 0 {
+		return allgatherRing(a)
+	}
+	res := make([]float64, p*a.Count)
+	copy(res[me*a.Count:(me+1)*a.Count], a.Data)
+	haveLo, haveHi := me, me+1
+	for b := 1; b < p; b <<= 1 {
+		peer := me ^ b
+		lo, hi := haveLo*a.Count, haveHi*a.Count
+		m := a.R.Sendrecv(peer, a.Tag+b, clonev(res[lo:hi]), a.Bytes(hi-lo), peer, a.Tag+b)
+		if peer < me {
+			copy(res[(haveLo-b)*a.Count:(haveLo-b)*a.Count+len(m.Data)], m.Data)
+			haveLo -= b
+		} else {
+			copy(res[haveHi*a.Count:haveHi*a.Count+len(m.Data)], m.Data)
+			haveHi += b
+		}
+	}
+	return res, nil
+}
+
+// allgatherRing: p-1 steps, each forwarding the block received last step.
+func allgatherRing(a *Args) ([]float64, error) {
+	if err := checkGatherArgs(a); err != nil {
+		return nil, err
+	}
+	p, me := a.size(), a.me()
+	res := make([]float64, p*a.Count)
+	copy(res[me*a.Count:(me+1)*a.Count], a.Data)
+	next, prev := (me+1)%p, (me-1+p)%p
+	cur := me
+	for s := 0; s < p-1; s++ {
+		m := a.R.Sendrecv(next, a.Tag+s, clonev(res[cur*a.Count:(cur+1)*a.Count]), a.Bytes(a.Count), prev, a.Tag+s)
+		cur = (cur - 1 + p) % p
+		copy(res[cur*a.Count:cur*a.Count+len(m.Data)], m.Data)
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package coll
+
+import (
+	"testing"
+
+	"collsel/internal/mpi"
+	"collsel/internal/netmodel"
+)
+
+func TestIstartAllreduceCorrect(t *testing.T) {
+	for _, p := range []int{2, 5, 16} {
+		al, _ := ByID(Allreduce, 3)
+		w := newWorld(t, p)
+		out := make([][]float64, p)
+		err := w.Run(func(r *mpi.Rank) {
+			data := make([]float64, 8)
+			for i := range data {
+				data[i] = float64(r.ID())
+			}
+			a := &Args{R: r, Count: 8, Data: data, Tag: NextTag(r)}
+			op := Istart(al, a)
+			r.Compute(50_000) // overlap something
+			res, err := op.Wait()
+			if err != nil {
+				r.Abort("%v", err)
+			}
+			out[r.ID()] = res
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(p*(p-1)) / 2
+		for rk := 0; rk < p; rk++ {
+			for i := 0; i < 8; i++ {
+				if out[rk][i] != want {
+					t.Fatalf("p=%d rank %d: %g want %g", p, rk, out[rk][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestIstartOverlapsComputation(t *testing.T) {
+	// Blocking: compute + alltoall serialize. Non-blocking: they overlap,
+	// so the total must be strictly smaller (communication hides behind
+	// compute while sharing ports).
+	const computeNs = 2_000_000
+	run := func(nonblocking bool) int64 {
+		al, _ := ByID(Alltoall, 2)
+		w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end int64
+		err = w.Run(func(r *mpi.Rank) {
+			data := make([]float64, 16*64)
+			a := &Args{R: r, Count: 64, Data: data, Tag: NextTag(r)}
+			if nonblocking {
+				op := Istart(al, a)
+				r.Compute(computeNs)
+				if _, err := op.Wait(); err != nil {
+					r.Abort("%v", err)
+				}
+			} else {
+				if _, err := al.Run(a); err != nil {
+					r.Abort("%v", err)
+				}
+				r.Compute(computeNs)
+			}
+			if r.ID() == 0 {
+				end = w.K.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	blocking := run(false)
+	overlapped := run(true)
+	if overlapped >= blocking {
+		t.Fatalf("non-blocking (%d ns) not faster than blocking (%d ns)", overlapped, blocking)
+	}
+	// The overlap should hide at least half of the collective: the total
+	// approaches max(compute, collective) rather than their sum.
+	collNs := blocking - computeNs
+	if overlapped > computeNs+collNs/2 {
+		t.Fatalf("overlap too weak: %d vs compute %d + coll %d", overlapped, computeNs, collNs)
+	}
+}
+
+func TestIstartTwoConcurrentCollectives(t *testing.T) {
+	// Two outstanding non-blocking allreduces with distinct tags complete
+	// independently and correctly.
+	al, _ := ByID(Allreduce, 3)
+	w := newWorld(t, 8)
+	sum1 := make([]float64, 8)
+	sum2 := make([]float64, 8)
+	err := w.Run(func(r *mpi.Rank) {
+		a1 := &Args{R: r, Count: 1, Data: []float64{1}, Tag: NextTag(r)}
+		a2 := &Args{R: r, Count: 1, Data: []float64{10}, Tag: NextTag(r)}
+		op1 := Istart(al, a1)
+		op2 := Istart(al, a2)
+		r1, err := op1.Wait()
+		if err != nil {
+			r.Abort("%v", err)
+		}
+		r2, err := op2.Wait()
+		if err != nil {
+			r.Abort("%v", err)
+		}
+		sum1[r.ID()] = r1[0]
+		sum2[r.ID()] = r2[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < 8; rk++ {
+		if sum1[rk] != 8 || sum2[rk] != 80 {
+			t.Fatalf("rank %d: %g, %g", rk, sum1[rk], sum2[rk])
+		}
+	}
+}
+
+func TestAsyncOpDoneFlag(t *testing.T) {
+	al, _ := ByID(Barrier, 4)
+	w := newWorld(t, 4)
+	err := w.Run(func(r *mpi.Rank) {
+		a := &Args{R: r, Count: 1, Tag: NextTag(r)}
+		op := Istart(al, a)
+		r.SleepNs(10_000_000)
+		if !op.Done() {
+			r.Abort("barrier not done after 10 ms")
+		}
+		if _, err := op.Wait(); err != nil {
+			r.Abort("%v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIstartPropagatesErrors(t *testing.T) {
+	al, _ := ByID(Allreduce, 3)
+	w := newWorld(t, 2)
+	var gotErr error
+	err := w.Run(func(r *mpi.Rank) {
+		// Both ranks start an op with bad args; both must see the error.
+		a := &Args{R: r, Count: 4, Data: make([]float64, 1), Tag: NextTag(r)}
+		op := Istart(al, a)
+		_, e := op.Wait()
+		if r.ID() == 0 {
+			gotErr = e
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotErr == nil {
+		t.Fatal("bad args silently accepted by async op")
+	}
+}

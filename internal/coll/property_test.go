@@ -1,0 +1,160 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"collsel/internal/mpi"
+	"collsel/internal/netmodel"
+)
+
+// Property: for any (algorithm, communicator size, count, random input),
+// every allreduce algorithm computes exactly the element-wise sum, and all
+// ranks agree.
+func TestAllreduceSumProperty(t *testing.T) {
+	algs := Algorithms(Allreduce)
+	f := func(algRaw, pRaw, countRaw uint8, seed int64) bool {
+		al := algs[int(algRaw)%len(algs)]
+		p := int(pRaw)%20 + 1
+		count := int(countRaw)%24 + 1
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, p)
+		want := make([]float64, count)
+		for r := 0; r < p; r++ {
+			inputs[r] = make([]float64, count)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(2000) - 1000)
+				want[i] += inputs[r][i]
+			}
+		}
+		w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: p})
+		if err != nil {
+			return false
+		}
+		out := make([][]float64, p)
+		if err := w.Run(func(r *mpi.Rank) {
+			a := &Args{R: r, Count: count, Data: clonev(inputs[r.ID()]), Tag: NextTag(r)}
+			res, err := al.Run(a)
+			if err != nil {
+				r.Abort("%v", err)
+			}
+			out[r.ID()] = res
+		}); err != nil {
+			t.Logf("%v p=%d count=%d: %v", al, p, count, err)
+			return false
+		}
+		for r := 0; r < p; r++ {
+			if len(out[r]) != count {
+				return false
+			}
+			for i := range want {
+				if !approxEq(out[r][i], want[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: alltoall output is the exact transpose of the inputs for any
+// algorithm, size and random payload.
+func TestAlltoallTransposeProperty(t *testing.T) {
+	algs := Algorithms(Alltoall)
+	f := func(algRaw, pRaw, countRaw uint8, seed int64) bool {
+		al := algs[int(algRaw)%len(algs)]
+		p := int(pRaw)%12 + 1
+		count := int(countRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, p)
+		for r := 0; r < p; r++ {
+			inputs[r] = make([]float64, p*count)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(100000))
+			}
+		}
+		w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: p})
+		if err != nil {
+			return false
+		}
+		out := make([][]float64, p)
+		if err := w.Run(func(r *mpi.Rank) {
+			a := &Args{R: r, Count: count, Data: clonev(inputs[r.ID()]), Tag: NextTag(r)}
+			res, err := al.Run(a)
+			if err != nil {
+				r.Abort("%v", err)
+			}
+			out[r.ID()] = res
+		}); err != nil {
+			t.Logf("%v p=%d count=%d: %v", al, p, count, err)
+			return false
+		}
+		for dst := 0; dst < p; dst++ {
+			for src := 0; src < p; src++ {
+				for e := 0; e < count; e++ {
+					if out[dst][src*count+e] != inputs[src][dst*count+e] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: segmentation never changes results — any SegCount produces the
+// same reduce output as the unsegmented run.
+func TestSegmentationInvarianceProperty(t *testing.T) {
+	segAlgs := []string{"chain", "pipeline", "binary", "in_order_binary"}
+	f := func(algRaw, pRaw uint8, segRaw uint8, seed int64) bool {
+		name := segAlgs[int(algRaw)%len(segAlgs)]
+		al, _ := ByName(Reduce, name)
+		p := int(pRaw)%16 + 1
+		count := 24
+		seg := int(segRaw)%30 + 1 // 1..30, spans < and > count
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, p)
+		want := make([]float64, count)
+		for r := 0; r < p; r++ {
+			inputs[r] = make([]float64, count)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(1000))
+				want[i] += inputs[r][i]
+			}
+		}
+		w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: p})
+		if err != nil {
+			return false
+		}
+		var rootOut []float64
+		if err := w.Run(func(r *mpi.Rank) {
+			a := &Args{R: r, Count: count, Data: clonev(inputs[r.ID()]), SegCount: seg, Tag: NextTag(r)}
+			res, err := al.Run(a)
+			if err != nil {
+				r.Abort("%v", err)
+			}
+			if r.ID() == 0 {
+				rootOut = res
+			}
+		}); err != nil {
+			t.Logf("%s p=%d seg=%d: %v", name, p, seg, err)
+			return false
+		}
+		for i := range want {
+			if !approxEq(rootOut[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

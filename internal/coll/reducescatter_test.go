@@ -1,0 +1,75 @@
+package coll
+
+import (
+	"testing"
+)
+
+func TestReduceScatterAlgorithmsCorrect(t *testing.T) {
+	for _, al := range Algorithms(ReduceScatter) {
+		al := al
+		t.Run(al.Name, func(t *testing.T) {
+			for _, p := range testSizes {
+				for _, count := range []int{1, 3, 16} {
+					gen := func(rank int) []float64 {
+						v := make([]float64, p*count)
+						for i := range v {
+							v[i] = float64(rank + i)
+						}
+						return v
+					}
+					out := runColl(t, p, al, gen, count, 0)
+					for rk := 0; rk < p; rk++ {
+						if len(out[rk]) != count {
+							t.Fatalf("p=%d count=%d rank %d: output length %d", p, count, rk, len(out[rk]))
+						}
+						for e := 0; e < count; e++ {
+							idx := rk*count + e
+							want := 0.0
+							for s := 0; s < p; s++ {
+								want += float64(s + idx)
+							}
+							if !approxEq(out[rk][e], want) {
+								t.Fatalf("p=%d count=%d rank %d elem %d: got %g want %g",
+									p, count, rk, e, out[rk][e], want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReduceScatterRejectsBadArgs(t *testing.T) {
+	al, ok := ByID(ReduceScatter, 2)
+	if !ok {
+		t.Fatal("recursive halving missing")
+	}
+	out := runCollExpectingError(t, 4, al, func(rank int) []float64 {
+		return make([]float64, 7) // not count*p
+	}, 2)
+	if out == nil {
+		t.Fatal("expected per-rank errors")
+	}
+}
+
+// runCollExpectingError runs an algorithm whose arguments are invalid and
+// returns the per-rank errors (fails the test if any rank succeeded).
+func runCollExpectingError(t *testing.T, p int, al Algorithm, gen func(rank int) []float64, count int) []error {
+	t.Helper()
+	w := newWorld(t, p)
+	errs := make([]error, p)
+	err := w.Run(func(r *rankT) {
+		a := &Args{R: r, Data: gen(r.ID()), Count: count, Tag: NextTag(r)}
+		_, errs[r.ID()] = al.Run(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk, e := range errs {
+		if e == nil {
+			t.Fatalf("rank %d accepted bad args", rk)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,184 @@
+package coll
+
+// tree describes one rank's position in a communication tree: its parent
+// (-1 for the tree root) and children in schedule order. Trees are defined
+// over "virtual" ranks shifted so the operation root is virtual rank 0;
+// helper builders return the view already translated to real ranks.
+type tree struct {
+	parent   int
+	children []int
+}
+
+// vrank maps a real rank into the virtual numbering rooted at root.
+func vrank(rank, root, p int) int { return (rank - root + p) % p }
+
+// rrank maps a virtual rank back to the real numbering.
+func rrank(v, root, p int) int { return (v + root) % p }
+
+// binomialTree builds the classic binomial tree used by Open MPI's binomial
+// reduce/bcast: virtual rank v's parent clears v's lowest set bit; its
+// children are v | 2^k for increasing k below v's lowest set bit.
+// Children are listed nearest-first (smallest distance), the order in which
+// a binomial reduce receives.
+func binomialTree(rank, root, p int) tree {
+	v := vrank(rank, root, p)
+	t := tree{parent: -1}
+	if v != 0 {
+		// Clear lowest set bit.
+		low := v & (-v)
+		t.parent = rrank(v^low, root, p)
+	}
+	for bit := 1; bit < p; bit <<= 1 {
+		if v&bit != 0 {
+			break // bits above our lowest set bit belong to ancestors
+		}
+		c := v | bit
+		if c < p && c != v {
+			t.children = append(t.children, rrank(c, root, p))
+		}
+	}
+	return t
+}
+
+// binaryTree builds a complete binary tree in virtual-rank order: children
+// of v are 2v+1 and 2v+2.
+func binaryTree(rank, root, p int) tree {
+	v := vrank(rank, root, p)
+	t := tree{parent: -1}
+	if v != 0 {
+		t.parent = rrank((v-1)/2, root, p)
+	}
+	for _, c := range []int{2*v + 1, 2*v + 2} {
+		if c < p {
+			t.children = append(t.children, rrank(c, root, p))
+		}
+	}
+	return t
+}
+
+// inOrderBinaryTree builds Open MPI's in-order binary tree. The reduction
+// is performed over ranks in rank order with the *highest* rank (p-1)
+// acting as the internal root; Open MPI uses it for non-commutative
+// operators. We construct the in-order threaded tree via the same recursive
+// splitting ompi_coll_tree_t uses: the range [lo,hi] is rooted at hi, with
+// the left subtree covering the lower half and the right subtree the upper
+// half below the root.
+//
+// The returned tree ignores the collective root argument: callers must ship
+// the final result from rank p-1 to the operation root separately. This
+// placement is exactly why the algorithm absorbs "last process delayed"
+// arrival patterns so well (Sec. III-C of the paper).
+func inOrderBinaryTree(rank, p int) tree {
+	var build func(lo, hi, parent int) (tree, bool)
+	build = func(lo, hi, parent int) (tree, bool) {
+		if lo > hi {
+			return tree{}, false
+		}
+		rootv := hi
+		var t tree
+		if rootv == rank {
+			t.parent = parent
+			// Right subtree: upper half below root; left: lower half.
+			mid := (lo + hi) / 2
+			if lo <= hi-1 {
+				// right child is root of [mid+1, hi-1], left child root of [lo, mid].
+				if mid+1 <= hi-1 {
+					t.children = append(t.children, hi-1) // root of [mid+1, hi-1] is hi-1
+				}
+				if lo <= mid {
+					t.children = append(t.children, mid) // root of [lo, mid] is mid
+				}
+			}
+			return t, true
+		}
+		mid := (lo + hi) / 2
+		if rank >= mid+1 && rank <= hi-1 {
+			return build(mid+1, hi-1, rootv)
+		}
+		return build(lo, mid, rootv)
+	}
+	t, ok := build(0, p-1, -1)
+	if !ok {
+		return tree{parent: -1}
+	}
+	return t
+}
+
+// chainTrees splits the non-root ranks into fanout chains hanging off the
+// root, as Open MPI's chain topology does. Each chain is a path; the root
+// has up to fanout children (the chain heads).
+func chainTrees(rank, root, p, fanout int) tree {
+	if fanout < 1 {
+		fanout = 1
+	}
+	if fanout > p-1 {
+		fanout = p - 1
+	}
+	v := vrank(rank, root, p)
+	t := tree{parent: -1}
+	if p == 1 {
+		return t
+	}
+	n := p - 1 // ranks in chains, virtual 1..p-1
+	chainLen := ceilDiv(n, fanout)
+	if v == 0 {
+		for c := 0; c < fanout; c++ {
+			head := 1 + c*chainLen
+			if head <= n {
+				t.children = append(t.children, rrank(head, root, p))
+			}
+		}
+		return t
+	}
+	idx := v - 1 // 0-based position among chain ranks
+	pos := idx % chainLen
+	if pos == 0 {
+		t.parent = root
+	} else {
+		t.parent = rrank(v-1, root, p)
+	}
+	if pos+1 < chainLen && v+1 <= n {
+		t.children = append(t.children, rrank(v+1, root, p))
+	}
+	return t
+}
+
+// pipelineTree is a single chain through all ranks (chain with fanout 1).
+func pipelineTree(rank, root, p int) tree { return chainTrees(rank, root, p, 1) }
+
+// knomialTree builds a k-nomial tree (Open MPI's kmtree/knomial topology):
+// the binomial construction generalized to radix k. In round j (from the
+// leaves up), virtual rank v with v % k^(j+1) == 0 has children
+// v + i*k^j for i in 1..k-1 (bounded by p). radix 2 reproduces the
+// binomial tree.
+func knomialTree(rank, root, p, radix int) tree {
+	if radix < 2 {
+		radix = 2
+	}
+	v := vrank(rank, root, p)
+	t := tree{parent: -1}
+	// Find v's parent: the highest power k^j dividing... walk digits of v in
+	// base k: the parent clears v's least-significant non-zero digit.
+	if v != 0 {
+		pow := 1
+		for (v/pow)%radix == 0 {
+			pow *= radix
+		}
+		digit := (v / pow) % radix
+		t.parent = rrank(v-digit*pow, root, p)
+	}
+	// Children: for each power below the least-significant non-zero digit of
+	// v (all powers for v=0), v + i*pow.
+	for pow := 1; pow < p; pow *= radix {
+		if v != 0 && (v/pow)%radix != 0 {
+			break // reached v's own digit; higher positions belong to ancestors
+		}
+		for i := 1; i < radix; i++ {
+			c := v + i*pow
+			if c < p && (c/pow)%radix == i && c != v {
+				t.children = append(t.children, rrank(c, root, p))
+			}
+		}
+	}
+	return t
+}

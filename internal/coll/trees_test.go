@@ -1,0 +1,191 @@
+package coll
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// validateTree checks structural soundness of a tree family over all ranks:
+// exactly one root, parent/child links consistent, all ranks reachable.
+func validateTree(t *testing.T, name string, p int, build func(rank int) tree) {
+	t.Helper()
+	trees := make([]tree, p)
+	for r := 0; r < p; r++ {
+		trees[r] = build(r)
+	}
+	roots := 0
+	for r := 0; r < p; r++ {
+		if trees[r].parent == -1 {
+			roots++
+		} else {
+			pr := trees[r].parent
+			if pr < 0 || pr >= p {
+				t.Fatalf("%s p=%d: rank %d has out-of-range parent %d", name, p, r, pr)
+			}
+			found := false
+			for _, c := range trees[pr].children {
+				if c == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s p=%d: rank %d's parent %d does not list it as child", name, p, r, pr)
+			}
+		}
+		for _, c := range trees[r].children {
+			if c < 0 || c >= p {
+				t.Fatalf("%s p=%d: rank %d has out-of-range child %d", name, p, r, c)
+			}
+			if trees[c].parent != r {
+				t.Fatalf("%s p=%d: rank %d lists child %d whose parent is %d", name, p, r, c, trees[c].parent)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%s p=%d: %d roots", name, p, roots)
+	}
+	// Reachability from the root.
+	var root int
+	for r := 0; r < p; r++ {
+		if trees[r].parent == -1 {
+			root = r
+		}
+	}
+	seen := make([]bool, p)
+	stack := []int{root}
+	count := 0
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[r] {
+			t.Fatalf("%s p=%d: cycle at rank %d", name, p, r)
+		}
+		seen[r] = true
+		count++
+		stack = append(stack, trees[r].children...)
+	}
+	if count != p {
+		t.Fatalf("%s p=%d: only %d of %d ranks reachable", name, p, count, p)
+	}
+}
+
+func TestTreeFamiliesValid(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 64, 100}
+	for _, p := range sizes {
+		for _, root := range []int{0, p / 2, p - 1} {
+			p, root := p, root
+			validateTree(t, "binomial", p, func(r int) tree { return binomialTree(r, root, p) })
+			validateTree(t, "binary", p, func(r int) tree { return binaryTree(r, root, p) })
+			validateTree(t, "chain4", p, func(r int) tree { return chainTrees(r, root, p, 4) })
+			validateTree(t, "pipeline", p, func(r int) tree { return pipelineTree(r, root, p) })
+		}
+		validateTree(t, "inorder", p, func(r int) tree { return inOrderBinaryTree(r, p) })
+	}
+}
+
+func TestBinomialTreeDepth(t *testing.T) {
+	// Depth of the binomial tree is ceil(log2 p).
+	for _, p := range []int{2, 4, 8, 16, 64, 1024} {
+		depth := 0
+		for r := 0; r < p; r++ {
+			d := 0
+			cur := r
+			for binomialTree(cur, 0, p).parent != -1 {
+				cur = binomialTree(cur, 0, p).parent
+				d++
+			}
+			if d > depth {
+				depth = d
+			}
+		}
+		want := 0
+		for 1<<want < p {
+			want++
+		}
+		if depth != want {
+			t.Errorf("p=%d: binomial depth %d, want %d", p, depth, want)
+		}
+	}
+}
+
+func TestInOrderBinaryRootIsLastRank(t *testing.T) {
+	for _, p := range []int{2, 3, 8, 17, 32} {
+		for r := 0; r < p; r++ {
+			tr := inOrderBinaryTree(r, p)
+			if (tr.parent == -1) != (r == p-1) {
+				t.Errorf("p=%d rank %d: parent=%d; only rank p-1 may be root", p, r, tr.parent)
+			}
+		}
+	}
+}
+
+func TestPipelineIsSingleChain(t *testing.T) {
+	p := 16
+	for r := 0; r < p; r++ {
+		tr := pipelineTree(r, 0, p)
+		if len(tr.children) > 1 {
+			t.Errorf("rank %d has %d children in pipeline", r, len(tr.children))
+		}
+	}
+	// Root has exactly one child; the tail has none.
+	if n := len(pipelineTree(0, 0, p).children); n != 1 {
+		t.Errorf("pipeline root has %d children", n)
+	}
+}
+
+func TestChainFanoutBounds(t *testing.T) {
+	p := 33
+	root := 0
+	tr := chainTrees(root, root, p, 4)
+	if len(tr.children) != 4 {
+		t.Errorf("chain root has %d heads, want 4", len(tr.children))
+	}
+	// All non-root nodes have at most one child.
+	for r := 1; r < p; r++ {
+		if n := len(chainTrees(r, root, p, 4).children); n > 1 {
+			t.Errorf("chain rank %d has %d children", r, n)
+		}
+	}
+}
+
+func TestVrankRoundTripProperty(t *testing.T) {
+	f := func(rank, root uint8, pRaw uint8) bool {
+		p := int(pRaw%64) + 1
+		r := int(rank) % p
+		rt := int(root) % p
+		return rrank(vrank(r, rt, p), rt, p) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeFamiliesValidProperty(t *testing.T) {
+	f := func(pRaw, rootRaw uint8, fanRaw uint8) bool {
+		p := int(pRaw%60) + 1
+		root := int(rootRaw) % p
+		fan := int(fanRaw%6) + 1
+		ok := true
+		check := func(build func(r int) tree) {
+			// lightweight validation: parent links resolve and are acyclic.
+			for r := 0; r < p && ok; r++ {
+				cur, hops := r, 0
+				for build(cur).parent != -1 {
+					cur = build(cur).parent
+					if hops++; hops > p {
+						ok = false
+						return
+					}
+				}
+			}
+		}
+		check(func(r int) tree { return binomialTree(r, root, p) })
+		check(func(r int) tree { return binaryTree(r, root, p) })
+		check(func(r int) tree { return chainTrees(r, root, p, fan) })
+		check(func(r int) tree { return inOrderBinaryTree(r, p) })
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

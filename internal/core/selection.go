@@ -1,0 +1,354 @@
+// Package core implements the paper's contribution: arrival-pattern-aware
+// selection of MPI collective algorithms.
+//
+// The central object is the Matrix: the measured mean last-delay (d̂) of
+// every algorithm of one collective under every arrival pattern, for a
+// fixed message size, process count and machine. On top of it the package
+// provides the analyses of the paper's figures:
+//
+//   - the "good algorithm" classification — within 5% of the row's fastest
+//     (Fig. 5, light blue vs. light red);
+//   - the relative-to-no-delay-winner view (Fig. 4): how much faster the
+//     per-pattern best algorithm is than the algorithm a conventional
+//     synchronized micro-benchmark would have chosen;
+//   - robustness normalization d̂^k / d̂^no-delay - 1 with the ±25%
+//     green/gray/red classes (Fig. 6);
+//   - row-normalized runtimes and the per-algorithm average normalized
+//     score (Fig. 8), whose minimizer is the paper's selected algorithm;
+//   - the application-runtime predictor (Fig. 9).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"collsel/internal/coll"
+	"collsel/internal/stats"
+)
+
+// GoodTolerance is the paper's "indistinguishable from fastest" margin.
+const GoodTolerance = 0.05
+
+// RobustThreshold is the ±25% margin of the Fig. 6 classification.
+const RobustThreshold = 0.25
+
+// Matrix holds mean last-delay measurements (ns): Value[i][j] is pattern i,
+// algorithm j.
+type Matrix struct {
+	Collective coll.Collective
+	// MsgBytes is the benchmarked message size (per pair for Alltoall).
+	MsgBytes int
+	Procs    int
+	Machine  string
+	// Patterns are the row labels; by convention "no_delay" is a row when
+	// the analysis needs it (Fig. 4/6 do, Fig. 8 includes it as a row too).
+	Patterns   []string
+	Algorithms []coll.Algorithm
+	// ValueNs[i][j] is the mean d̂ of algorithm j under pattern i.
+	ValueNs [][]float64
+}
+
+// NewMatrix allocates a Matrix with the given labels.
+func NewMatrix(c coll.Collective, patterns []string, algs []coll.Algorithm) *Matrix {
+	m := &Matrix{
+		Collective: c,
+		Patterns:   append([]string(nil), patterns...),
+		Algorithms: append([]coll.Algorithm(nil), algs...),
+		ValueNs:    make([][]float64, len(patterns)),
+	}
+	for i := range m.ValueNs {
+		m.ValueNs[i] = make([]float64, len(algs))
+		for j := range m.ValueNs[i] {
+			m.ValueNs[i][j] = math.NaN()
+		}
+	}
+	return m
+}
+
+// Validate checks the matrix is fully populated with positive values.
+func (m *Matrix) Validate() error {
+	if len(m.Patterns) == 0 || len(m.Algorithms) == 0 {
+		return fmt.Errorf("core: empty matrix")
+	}
+	for i, row := range m.ValueNs {
+		if len(row) != len(m.Algorithms) {
+			return fmt.Errorf("core: row %d has %d entries, want %d", i, len(row), len(m.Algorithms))
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || v <= 0 {
+				return fmt.Errorf("core: missing/invalid measurement at (%s, %s): %v",
+					m.Patterns[i], m.Algorithms[j].Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// PatternIndex returns the row index of a pattern name, or -1.
+func (m *Matrix) PatternIndex(name string) int {
+	for i, p := range m.Patterns {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set stores a measurement.
+func (m *Matrix) Set(patternIdx, algIdx int, valueNs float64) {
+	m.ValueNs[patternIdx][algIdx] = valueNs
+}
+
+// Row returns a copy of one pattern's measurements.
+func (m *Matrix) Row(i int) []float64 {
+	return append([]float64(nil), m.ValueNs[i]...)
+}
+
+// --- Fig. 5: good-algorithm classification ---------------------------------
+
+// GoodAlgorithms returns, for row i, a boolean per algorithm: true when it
+// is within GoodTolerance of the row's fastest (the light-blue boxes).
+func (m *Matrix) GoodAlgorithms(i int) []bool {
+	row := m.ValueNs[i]
+	best := row[stats.MinIdx(row)]
+	out := make([]bool, len(row))
+	for j, v := range row {
+		out[j] = v <= best*(1+GoodTolerance)
+	}
+	return out
+}
+
+// --- Fig. 4: optimization potential vs. the no-delay choice -----------------
+
+// PotentialCell is one Fig. 4 cell: the best algorithm under a pattern and
+// its runtime relative to the algorithm the no-delay benchmark would pick.
+type PotentialCell struct {
+	Pattern string
+	// Best is the fastest algorithm under this pattern.
+	Best coll.Algorithm
+	// Ratio is d̂(best under pattern) / d̂(no-delay winner, measured under
+	// this same pattern). 1.0 means the no-delay choice is already optimal;
+	// 0.3 means the pattern-aware choice needs only 30% of the time.
+	Ratio float64
+}
+
+// OptimizationPotential computes the Fig. 4 view. The matrix must contain a
+// "no_delay" row.
+func (m *Matrix) OptimizationPotential() ([]PotentialCell, error) {
+	nd := m.PatternIndex("no_delay")
+	if nd < 0 {
+		return nil, fmt.Errorf("core: matrix has no no_delay row")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	winner := stats.MinIdx(m.ValueNs[nd])
+	out := make([]PotentialCell, 0, len(m.Patterns))
+	for i := range m.Patterns {
+		row := m.ValueNs[i]
+		bestIdx := stats.MinIdx(row)
+		out = append(out, PotentialCell{
+			Pattern: m.Patterns[i],
+			Best:    m.Algorithms[bestIdx],
+			Ratio:   row[bestIdx] / row[winner],
+		})
+	}
+	return out, nil
+}
+
+// --- Fig. 6: robustness classes ---------------------------------------------
+
+// RobustnessClass buckets an algorithm's reaction to a pattern.
+type RobustnessClass int
+
+const (
+	// Faster: at least 25% faster than its own no-delay case (green).
+	Faster RobustnessClass = iota
+	// Neutral: within ±25% (gray).
+	Neutral
+	// Slower: at least 25% slower (red).
+	Slower
+)
+
+func (c RobustnessClass) String() string {
+	switch c {
+	case Faster:
+		return "faster"
+	case Slower:
+		return "slower"
+	default:
+		return "neutral"
+	}
+}
+
+// RobustnessCell is one Fig. 6 cell.
+type RobustnessCell struct {
+	// Normalized is d̂^pattern / d̂^no-delay - 1; negative values mean the
+	// algorithm absorbed skew.
+	Normalized float64
+	Class      RobustnessClass
+}
+
+// Robustness computes the Fig. 6 normalization for every non-no-delay row.
+// Row order matches Patterns with the no_delay row removed.
+func (m *Matrix) Robustness() (rows []string, cells [][]RobustnessCell, err error) {
+	nd := m.PatternIndex("no_delay")
+	if nd < 0 {
+		return nil, nil, fmt.Errorf("core: matrix has no no_delay row")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	base := m.ValueNs[nd]
+	for i := range m.Patterns {
+		if i == nd {
+			continue
+		}
+		rows = append(rows, m.Patterns[i])
+		row := make([]RobustnessCell, len(m.Algorithms))
+		for j := range m.Algorithms {
+			norm := m.ValueNs[i][j]/base[j] - 1
+			cls := Neutral
+			if norm <= -RobustThreshold {
+				cls = Faster
+			} else if norm >= RobustThreshold {
+				cls = Slower
+			}
+			row[j] = RobustnessCell{Normalized: norm, Class: cls}
+		}
+		cells = append(cells, row)
+	}
+	return rows, cells, nil
+}
+
+// --- Fig. 8 + selection: normalized matrix and robustness score -------------
+
+// Normalized returns the row-normalized matrix (each row divided by its
+// minimum, fastest = 1.0), the Fig. 8 heatmap content.
+func (m *Matrix) Normalized() [][]float64 {
+	out := make([][]float64, len(m.ValueNs))
+	for i, row := range m.ValueNs {
+		out[i] = stats.Normalize(row)
+	}
+	return out
+}
+
+// AvgNormalized computes the per-algorithm mean of the row-normalized
+// values over all rows except those named in exclude — the "Avg" row of
+// Fig. 8, the paper's robustness score.
+func (m *Matrix) AvgNormalized(exclude ...string) []float64 {
+	skip := map[string]bool{}
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	norm := m.Normalized()
+	out := make([]float64, len(m.Algorithms))
+	n := 0
+	for i, row := range norm {
+		if skip[m.Patterns[i]] {
+			continue
+		}
+		n++
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	if n > 0 {
+		for j := range out {
+			out[j] /= float64(n)
+		}
+	}
+	return out
+}
+
+// Choice is a ranked algorithm with its robustness score.
+type Choice struct {
+	Algorithm coll.Algorithm
+	// Score is the average normalized runtime across patterns (1.0 would be
+	// an algorithm that is the fastest under every pattern).
+	Score float64
+}
+
+// SelectRobust ranks the algorithms by the paper's criterion — smallest
+// average normalized runtime across arrival patterns — and returns them
+// best-first. Patterns named in exclude (e.g. a traced application
+// scenario that would not be available in practice) are left out of the
+// score.
+func (m *Matrix) SelectRobust(exclude ...string) ([]Choice, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	avg := m.AvgNormalized(exclude...)
+	out := make([]Choice, len(m.Algorithms))
+	for j, al := range m.Algorithms {
+		out[j] = Choice{Algorithm: al, Score: avg[j]}
+	}
+	// Stable insertion sort by score (small N).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Score < out[k-1].Score; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out, nil
+}
+
+// NoDelayChoice returns the algorithm a conventional synchronized
+// micro-benchmark would select (fastest in the no_delay row).
+func (m *Matrix) NoDelayChoice() (coll.Algorithm, error) {
+	nd := m.PatternIndex("no_delay")
+	if nd < 0 {
+		return coll.Algorithm{}, fmt.Errorf("core: matrix has no no_delay row")
+	}
+	return m.Algorithms[stats.MinIdx(m.ValueNs[nd])], nil
+}
+
+// --- Fig. 9: application runtime prediction ---------------------------------
+
+// Prediction is an estimated application runtime for one algorithm.
+type Prediction struct {
+	Algorithm coll.Algorithm
+	// NoDelaySec assumes every collective costs its synchronized
+	// micro-benchmark time (the conventional, misleading estimate).
+	NoDelaySec float64
+	// AvgSec uses the average runtime across arrival patterns instead (the
+	// paper's estimate, which matches the measured application).
+	AvgSec float64
+}
+
+// PredictRuntime implements the Fig. 9 estimator: application runtime =
+// compute time + nCalls * expected collective time, under both the
+// no-delay and the pattern-averaged expectation. exclude lists pattern
+// rows (e.g. "ft_scenario") to keep out of the average, matching the
+// paper's "Avg (excl. FT-Sce.)".
+func (m *Matrix) PredictRuntime(computeSec float64, nCalls int, exclude ...string) ([]Prediction, error) {
+	nd := m.PatternIndex("no_delay")
+	if nd < 0 {
+		return nil, fmt.Errorf("core: matrix has no no_delay row")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	skip := map[string]bool{}
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	out := make([]Prediction, len(m.Algorithms))
+	for j, al := range m.Algorithms {
+		var sum float64
+		n := 0
+		for i := range m.Patterns {
+			if skip[m.Patterns[i]] {
+				continue
+			}
+			sum += m.ValueNs[i][j]
+			n++
+		}
+		avg := sum / float64(n)
+		out[j] = Prediction{
+			Algorithm:  al,
+			NoDelaySec: computeSec + float64(nCalls)*m.ValueNs[nd][j]/1e9,
+			AvgSec:     computeSec + float64(nCalls)*avg/1e9,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collsel/internal/coll"
+)
+
+// testMatrix builds a small 3-pattern x 3-algorithm matrix:
+//
+//	            algA   algB   algC
+//	no_delay     100    150    300
+//	last_delayed 400    160    310
+//	ascending    200    150    320
+func testMatrix() *Matrix {
+	algs := []coll.Algorithm{
+		{Coll: coll.Reduce, ID: 1, Name: "algA"},
+		{Coll: coll.Reduce, ID: 2, Name: "algB"},
+		{Coll: coll.Reduce, ID: 3, Name: "algC"},
+	}
+	m := NewMatrix(coll.Reduce, []string{"no_delay", "last_delayed", "ascending"}, algs)
+	vals := [][]float64{
+		{100, 150, 300},
+		{400, 160, 310},
+		{200, 150, 320},
+	}
+	for i := range vals {
+		for j := range vals[i] {
+			m.Set(i, j, vals[i][j])
+		}
+	}
+	return m
+}
+
+func TestValidateCatchesHoles(t *testing.T) {
+	m := NewMatrix(coll.Reduce, []string{"no_delay"}, []coll.Algorithm{{Name: "x"}})
+	if err := m.Validate(); err == nil {
+		t.Fatal("NaN matrix validated")
+	}
+	m.Set(0, 0, 5)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("filled matrix rejected: %v", err)
+	}
+	m.Set(0, 0, -1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative value validated")
+	}
+	empty := &Matrix{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty matrix validated")
+	}
+}
+
+func TestGoodAlgorithms(t *testing.T) {
+	m := testMatrix()
+	// Row 0: best 100; within 5% = only algA.
+	good := m.GoodAlgorithms(0)
+	if !good[0] || good[1] || good[2] {
+		t.Errorf("row 0 classes: %v", good)
+	}
+	// Row 2: best 150 (algB); 5% bound = 157.5; algA at 200 is out.
+	good = m.GoodAlgorithms(2)
+	if good[0] || !good[1] || good[2] {
+		t.Errorf("row 2 classes: %v", good)
+	}
+}
+
+func TestGoodAlgorithmsTie(t *testing.T) {
+	algs := []coll.Algorithm{{Name: "a"}, {Name: "b"}}
+	m := NewMatrix(coll.Alltoall, []string{"no_delay"}, algs)
+	m.Set(0, 0, 100)
+	m.Set(0, 1, 104.9)
+	good := m.GoodAlgorithms(0)
+	if !good[0] || !good[1] {
+		t.Errorf("within-5%% tie not both good: %v", good)
+	}
+}
+
+func TestOptimizationPotential(t *testing.T) {
+	m := testMatrix()
+	cells, err := m.OptimizationPotential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// no_delay winner is algA.
+	// Row no_delay: best algA, ratio 1.
+	if cells[0].Best.Name != "algA" || cells[0].Ratio != 1 {
+		t.Errorf("no_delay cell: %+v", cells[0])
+	}
+	// Row last_delayed: best algB (160); no-delay winner algA costs 400
+	// under this pattern; ratio 160/400 = 0.4.
+	if cells[1].Best.Name != "algB" || math.Abs(cells[1].Ratio-0.4) > 1e-12 {
+		t.Errorf("last_delayed cell: %+v", cells[1])
+	}
+	// Missing no_delay row.
+	m2 := NewMatrix(coll.Reduce, []string{"ascending"}, m.Algorithms)
+	m2.Set(0, 0, 1)
+	m2.Set(0, 1, 1)
+	m2.Set(0, 2, 1)
+	if _, err := m2.OptimizationPotential(); err == nil {
+		t.Error("missing no_delay accepted")
+	}
+}
+
+func TestRobustness(t *testing.T) {
+	m := testMatrix()
+	rows, cells, err := m.Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != "last_delayed" {
+		t.Fatalf("rows %v", rows)
+	}
+	// algA under last_delayed: 400/100-1 = 3.0 -> Slower.
+	if c := cells[0][0]; math.Abs(c.Normalized-3) > 1e-12 || c.Class != Slower {
+		t.Errorf("algA last_delayed: %+v", c)
+	}
+	// algB under last_delayed: 160/150-1 = 0.067 -> Neutral.
+	if c := cells[0][1]; c.Class != Neutral {
+		t.Errorf("algB last_delayed: %+v", c)
+	}
+	// Synthetic Faster case.
+	m.Set(1, 2, 100) // algC under last_delayed: 100/300-1 = -0.667
+	_, cells, _ = m.Robustness()
+	if c := cells[0][2]; c.Class != Faster {
+		t.Errorf("algC should be Faster: %+v", c)
+	}
+}
+
+func TestNormalizedRows(t *testing.T) {
+	m := testMatrix()
+	n := m.Normalized()
+	for i := range n {
+		min := math.Inf(1)
+		for _, v := range n[i] {
+			if v < min {
+				min = v
+			}
+		}
+		if math.Abs(min-1) > 1e-12 {
+			t.Errorf("row %d min %g, want 1", i, min)
+		}
+	}
+	if math.Abs(n[1][0]-2.5) > 1e-12 { // 400/160
+		t.Errorf("n[1][0] = %g", n[1][0])
+	}
+}
+
+func TestAvgNormalizedAndSelection(t *testing.T) {
+	m := testMatrix()
+	avg := m.AvgNormalized()
+	// algB normalized: 1.5, 1.0, 1.0 -> 1.1667
+	if math.Abs(avg[1]-(1.5+1+1)/3) > 1e-12 {
+		t.Errorf("algB avg %g", avg[1])
+	}
+	choices, err := m.SelectRobust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Algorithm.Name != "algB" {
+		t.Errorf("selected %s, want algB (robust overall)", choices[0].Algorithm.Name)
+	}
+	// The no-delay choice differs: algA wins the synchronized benchmark.
+	nd, err := m.NoDelayChoice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Name != "algA" {
+		t.Errorf("no-delay choice %s", nd.Name)
+	}
+	// Excluding the row where algA collapses flips the selection back.
+	choices, err = m.SelectRobust("last_delayed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Algorithm.Name == "algB" {
+		// algA: (1.0 + 1.333)/2 = 1.167 vs algB (1.5+1)/2 = 1.25
+		t.Errorf("exclusion not honored: %+v", choices)
+	}
+}
+
+func TestPredictRuntime(t *testing.T) {
+	m := testMatrix()
+	preds, err := m.PredictRuntime(2.0, 1000) // 1000 calls, values are ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	// algA: no-delay 2.0 + 1000*100ns = 2.0 + 0.0001 s
+	if math.Abs(preds[0].NoDelaySec-2.0001) > 1e-9 {
+		t.Errorf("algA no-delay prediction %g", preds[0].NoDelaySec)
+	}
+	avgA := (100.0 + 400 + 200) / 3
+	if math.Abs(preds[0].AvgSec-(2.0+1000*avgA/1e9)) > 1e-9 {
+		t.Errorf("algA avg prediction %g", preds[0].AvgSec)
+	}
+	// Exclusion removes a row from the average.
+	preds, err = m.PredictRuntime(0, 1, "last_delayed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := (100.0 + 200) / 2 / 1e9
+	if math.Abs(preds[0].AvgSec-wantAvg) > 1e-15 {
+		t.Errorf("excluded avg %g want %g", preds[0].AvgSec, wantAvg)
+	}
+}
+
+func TestPatternIndex(t *testing.T) {
+	m := testMatrix()
+	if m.PatternIndex("ascending") != 2 || m.PatternIndex("nope") != -1 {
+		t.Error("PatternIndex broken")
+	}
+}
+
+func TestSelectionScoreInvariantProperty(t *testing.T) {
+	// Property: the selected algorithm's score is <= every other score, and
+	// scaling an entire row leaves the selection unchanged (scores are
+	// row-normalized).
+	f := func(raw [9]uint16, scale uint8) bool {
+		algs := []coll.Algorithm{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+		m := NewMatrix(coll.Alltoall, []string{"no_delay", "p1", "p2"}, algs)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m.Set(i, j, float64(raw[i*3+j])+1)
+			}
+		}
+		c1, err := m.SelectRobust()
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(c1); i++ {
+			if c1[i].Score < c1[0].Score {
+				return false
+			}
+		}
+		s := float64(scale) + 2
+		for j := 0; j < 3; j++ {
+			m.Set(1, j, m.ValueNs[1][j]*s)
+		}
+		c2, err := m.SelectRobust()
+		if err != nil {
+			return false
+		}
+		return c1[0].Algorithm.Name == c2[0].Algorithm.Name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobustnessClassString(t *testing.T) {
+	if Faster.String() != "faster" || Neutral.String() != "neutral" || Slower.String() != "slower" {
+		t.Error("class names")
+	}
+}
+
+func TestRowCopyIsolated(t *testing.T) {
+	m := testMatrix()
+	r := m.Row(0)
+	r[0] = -999
+	if m.ValueNs[0][0] == -999 {
+		t.Error("Row returned a live reference")
+	}
+}

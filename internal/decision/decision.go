@@ -1,0 +1,118 @@
+// Package decision reproduces the baseline the paper's selection technique
+// is compared against: an MPI library's built-in, fixed decision logic that
+// picks a collective algorithm from (communicator size, message size)
+// alone. The rules below approximate Open MPI 4.1.x's
+// coll_tuned_decision_fixed for the collectives under study — thresholds
+// are from the shipped decision functions, simplified to the algorithms
+// implemented here. The decision never sees arrival patterns, which is
+// exactly the deficiency the paper addresses.
+package decision
+
+import (
+	"fmt"
+
+	"collsel/internal/coll"
+)
+
+// Fixed returns the algorithm Open MPI's fixed decision rules would select
+// for the collective with commSize ranks and msgBytes per-destination
+// message size.
+func Fixed(c coll.Collective, commSize, msgBytes int) (coll.Algorithm, error) {
+	if commSize <= 0 || msgBytes < 0 {
+		return coll.Algorithm{}, fmt.Errorf("decision: invalid comm size %d / message size %d", commSize, msgBytes)
+	}
+	var id int
+	switch c {
+	case coll.Alltoall:
+		id = fixedAlltoall(commSize, msgBytes)
+	case coll.Reduce:
+		id = fixedReduce(commSize, msgBytes)
+	case coll.Allreduce:
+		id = fixedAllreduce(commSize, msgBytes)
+	case coll.Bcast:
+		id = fixedBcast(commSize, msgBytes)
+	case coll.Barrier:
+		id = fixedBarrier(commSize)
+	default:
+		return coll.Algorithm{}, fmt.Errorf("decision: no fixed rules for %v", c)
+	}
+	al, ok := coll.ByID(c, id)
+	if !ok {
+		return coll.Algorithm{}, fmt.Errorf("decision: rule selected unregistered %v id %d", c, id)
+	}
+	return al, nil
+}
+
+// fixedAlltoall mirrors ompi_coll_tuned_alltoall_intra_dec_fixed: Bruck for
+// many ranks and small blocks, linear for tiny communicators, pairwise for
+// big data at scale, linear-sync in between.
+func fixedAlltoall(p, bytes int) int {
+	switch {
+	case p < 4:
+		return 1 // basic linear
+	case p >= 12 && bytes <= 768:
+		return 3 // modified bruck
+	case bytes <= 131072:
+		return 4 // linear with sync
+	default:
+		return 2 // pairwise
+	}
+}
+
+// fixedReduce mirrors the reduce decision: binomial for small messages,
+// binary tree for mid sizes, pipeline for large vectors.
+func fixedReduce(p, bytes int) int {
+	switch {
+	case p <= 2:
+		return 1 // linear
+	case bytes <= 4096:
+		return 5 // binomial
+	case bytes <= 65536:
+		return 4 // binary
+	case bytes <= 524288:
+		return 3 // pipeline
+	default:
+		return 7 // rabenseifner for huge commutative reductions
+	}
+}
+
+// fixedAllreduce: recursive doubling for small, Rabenseifner for large,
+// segmented ring for huge vectors on big communicators.
+func fixedAllreduce(p, bytes int) int {
+	switch {
+	case bytes <= 10240 || p <= 4:
+		return 3 // recursive doubling
+	case bytes <= 1048576:
+		return 6 // rabenseifner
+	default:
+		return 5 // segmented ring
+	}
+}
+
+// fixedBcast: binomial for small, split/plain binary for mid, pipeline for
+// large, scatter-allgather for huge on large communicators.
+func fixedBcast(p, bytes int) int {
+	switch {
+	case bytes <= 2048 || p <= 4:
+		return 6 // binomial
+	case bytes <= 131072:
+		return 5 // binary
+	case p >= 32 && bytes >= 1048576:
+		return 8 // scatter-allgather
+	default:
+		return 3 // pipeline
+	}
+}
+
+// fixedBarrier: two ranks use the trivial exchange (mapped to linear),
+// small communicators recursive doubling, large ones dissemination.
+func fixedBarrier(p int) int {
+	switch {
+	case p <= 2:
+		return 1
+	case p <= 8:
+		return 3
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,118 @@
+package decision
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collsel/internal/coll"
+)
+
+func TestFixedAlltoallRegimes(t *testing.T) {
+	cases := []struct {
+		p, bytes int
+		want     string
+	}{
+		{2, 64, "basic_linear"},
+		{64, 8, "bruck"},
+		{64, 768, "bruck"},
+		{64, 1024, "linear_sync"},
+		{64, 32768, "linear_sync"},
+		{64, 1048576, "pairwise"},
+	}
+	for _, c := range cases {
+		al, err := Fixed(coll.Alltoall, c.p, c.bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Name != c.want {
+			t.Errorf("alltoall p=%d %dB: got %s want %s", c.p, c.bytes, al.Name, c.want)
+		}
+	}
+}
+
+func TestFixedReduceRegimes(t *testing.T) {
+	cases := []struct {
+		p, bytes int
+		want     string
+	}{
+		{2, 8, "linear"},
+		{64, 8, "binomial"},
+		{64, 4096, "binomial"},
+		{64, 65536, "binary"},
+		{64, 262144, "pipeline"},
+		{64, 4194304, "rabenseifner"},
+	}
+	for _, c := range cases {
+		al, err := Fixed(coll.Reduce, c.p, c.bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Name != c.want {
+			t.Errorf("reduce p=%d %dB: got %s want %s", c.p, c.bytes, al.Name, c.want)
+		}
+	}
+}
+
+func TestFixedAllreduceRegimes(t *testing.T) {
+	for _, c := range []struct {
+		p, bytes int
+		want     string
+	}{
+		{64, 8, "recursive_doubling"},
+		{64, 65536, "rabenseifner"},
+		{64, 8388608, "segmented_ring"},
+	} {
+		al, err := Fixed(coll.Allreduce, c.p, c.bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Name != c.want {
+			t.Errorf("allreduce p=%d %dB: got %s want %s", c.p, c.bytes, al.Name, c.want)
+		}
+	}
+}
+
+func TestFixedBcastAndBarrier(t *testing.T) {
+	al, err := Fixed(coll.Bcast, 64, 128)
+	if err != nil || al.Name != "binomial" {
+		t.Errorf("bcast small: %v %v", al.Name, err)
+	}
+	al, err = Fixed(coll.Bcast, 64, 2097152)
+	if err != nil || al.Name != "scatter_allgather" {
+		t.Errorf("bcast huge: %v %v", al.Name, err)
+	}
+	al, err = Fixed(coll.Barrier, 64, 0)
+	if err != nil || al.Name != "dissemination" {
+		t.Errorf("barrier large: %v %v", al.Name, err)
+	}
+	al, err = Fixed(coll.Barrier, 4, 0)
+	if err != nil || al.Name != "recursive_doubling" {
+		t.Errorf("barrier small: %v %v", al.Name, err)
+	}
+}
+
+func TestFixedRejectsInvalid(t *testing.T) {
+	if _, err := Fixed(coll.Alltoall, 0, 8); err == nil {
+		t.Error("comm size 0 accepted")
+	}
+	if _, err := Fixed(coll.Alltoall, 8, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := Fixed(coll.Gather, 8, 8); err == nil {
+		t.Error("collective without rules accepted")
+	}
+}
+
+func TestFixedAlwaysResolvesProperty(t *testing.T) {
+	colls := []coll.Collective{coll.Alltoall, coll.Reduce, coll.Allreduce, coll.Bcast, coll.Barrier}
+	f := func(pRaw uint16, bRaw uint32, cRaw uint8) bool {
+		p := int(pRaw)%2048 + 1
+		bytes := int(bRaw) % (16 << 20)
+		c := colls[int(cRaw)%len(colls)]
+		al, err := Fixed(c, p, bytes)
+		return err == nil && al.Run != nil && al.Coll == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package expt contains the experiment drivers, one per table/figure of the
+// paper. Each driver owns the full methodology of its figure — skew-
+// magnitude policy, pattern set, algorithm set, machine mode — and returns
+// structured results plus a textual rendering. The cmd/ tools and the
+// repository benchmarks are thin wrappers around these drivers.
+package expt
+
+import (
+	"fmt"
+
+	"collsel/internal/coll"
+	"collsel/internal/core"
+	"collsel/internal/microbench"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+	"collsel/internal/stats"
+)
+
+// SizeToCount converts a wire message size in bytes to (count, elemSize).
+// Sizes below 8 B become a single small element; moderate sizes use 8-byte
+// elements; large sizes cap the element count at 128 and grow the element
+// size instead, so the simulator does not shuffle megabytes of real payload
+// around for timing studies (wire cost depends only on count*elemSize).
+func SizeToCount(bytes int) (count, elemSize int) {
+	if bytes < 8 {
+		return 1, bytes
+	}
+	if bytes <= 1024 || bytes%128 != 0 {
+		return bytes / 8, 8
+	}
+	return 128, bytes / 128
+}
+
+// SimGridSet returns the algorithm set used in the Fig. 4 simulation study
+// for a collective (the SMPI selector names reported in the paper).
+func SimGridSet(c coll.Collective) []coll.Algorithm {
+	var names []string
+	switch c {
+	case coll.Reduce:
+		names = []string{"ompi_basic_linear", "ompi_chain", "ompi_pipeline", "ompi_binary", "ompi_binomial", "ompi_in_order_binary", "rab", "scatter_gather"}
+	case coll.Allreduce:
+		names = []string{"lr", "rdb", "rab_rdb", "ompi_ring_segmented", "redbcast"}
+	case coll.Alltoall:
+		names = []string{"basic_linear", "pair", "bruck", "ring", "2dmesh", "3dmesh"}
+	default:
+		return coll.Algorithms(c)
+	}
+	out := make([]coll.Algorithm, 0, len(names))
+	for _, n := range names {
+		if al, ok := coll.ByName(c, n); ok {
+			out = append(out, al)
+		}
+	}
+	return out
+}
+
+// SkewPolicy selects how the maximum process skew is derived for the
+// artificial patterns of a study.
+type SkewPolicy int
+
+const (
+	// SkewAvgRuntime uses factor * t^a where t^a is the mean no-delay
+	// last-delay over the algorithm set (Sec. III-B; Figs. 4 and 5).
+	SkewAvgRuntime SkewPolicy = iota
+	// SkewPerAlgorithm gives algorithm i a skew of factor * its own
+	// no-delay runtime (the Fig. 6 robustness methodology).
+	SkewPerAlgorithm
+	// SkewFixed uses FixedSkewNs for every pattern (the Fig. 8 methodology,
+	// where the skew is the maximum observed in the application trace).
+	SkewFixed
+)
+
+// GridConfig describes one pattern x algorithm measurement grid.
+type GridConfig struct {
+	Platform   *netmodel.Platform
+	Procs      int
+	Seed       int64
+	Algorithms []coll.Algorithm
+	// Shapes are the artificial pattern rows; a no_delay row is always
+	// included first.
+	Shapes []pattern.Shape
+	// ExtraPatterns are appended verbatim as additional rows (e.g. a traced
+	// FT-Scenario). Their size must match Procs.
+	ExtraPatterns []pattern.Pattern
+	// MsgBytes is the wire message size (per destination).
+	MsgBytes int
+	Root     int
+	Policy   SkewPolicy
+	// Factor scales the skew magnitude under SkewAvgRuntime and
+	// SkewPerAlgorithm (the paper uses 0.5/1.0/1.5 and reports 1.5 for the
+	// simulation study, 1.0 elsewhere).
+	Factor      float64
+	FixedSkewNs int64
+	Reps        int
+	Warmup      int
+	// PerfectClocks/NoNoise select simulation mode.
+	PerfectClocks bool
+	NoNoise       bool
+}
+
+func (g *GridConfig) fill() error {
+	if g.Platform == nil {
+		return fmt.Errorf("expt: nil platform")
+	}
+	if len(g.Algorithms) == 0 {
+		return fmt.Errorf("expt: no algorithms")
+	}
+	if g.Procs == 0 {
+		g.Procs = g.Platform.Size()
+	}
+	if g.MsgBytes <= 0 {
+		return fmt.Errorf("expt: message size must be positive")
+	}
+	if g.Factor == 0 {
+		g.Factor = 1.0
+	}
+	if g.Reps <= 0 {
+		if g.NoNoise || !g.Platform.Noise.Enabled {
+			g.Reps, g.Warmup = 1, 0 // deterministic in simulation mode
+		} else {
+			g.Reps, g.Warmup = 5, 1
+		}
+	}
+	for _, ep := range g.ExtraPatterns {
+		if ep.Size() != g.Procs {
+			return fmt.Errorf("expt: extra pattern %q sized %d, procs %d", ep.Name, ep.Size(), g.Procs)
+		}
+	}
+	return nil
+}
+
+// benchOnce runs one micro-benchmark cell.
+func (g *GridConfig) benchOnce(al coll.Algorithm, pat pattern.Pattern, seedShift int64) (microbench.Result, error) {
+	count, elemSize := SizeToCount(g.MsgBytes)
+	return microbench.Run(microbench.Config{
+		Platform:      g.Platform,
+		Procs:         g.Procs,
+		Seed:          g.Seed + seedShift,
+		Algorithm:     al,
+		Count:         count,
+		ElemSize:      elemSize,
+		Root:          g.Root,
+		Pattern:       pat,
+		Reps:          g.Reps,
+		Warmup:        g.Warmup,
+		PerfectClocks: g.PerfectClocks,
+		NoNoise:       g.NoNoise,
+	})
+}
+
+// BuildMatrix measures the full grid and returns the matrix (rows:
+// no_delay, then Shapes in order, then ExtraPatterns) plus the per-
+// algorithm no-delay runtimes (ns).
+func BuildMatrix(g GridConfig) (*core.Matrix, []float64, error) {
+	if err := g.fill(); err != nil {
+		return nil, nil, err
+	}
+	if len(g.Shapes) == 0 && len(g.ExtraPatterns) == 0 {
+		return nil, nil, fmt.Errorf("expt: no pattern rows requested")
+	}
+
+	// Pass 1: no-delay runtimes.
+	noDelay := make([]float64, len(g.Algorithms))
+	for j, al := range g.Algorithms {
+		res, err := g.benchOnce(al, pattern.Pattern{}, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("expt: no-delay %s: %w", al.Name, err)
+		}
+		noDelay[j] = res.LastDelay.Mean
+	}
+	avgRuntime := stats.Mean(noDelay)
+
+	rows := []string{pattern.NoDelay.String()}
+	for _, sh := range g.Shapes {
+		rows = append(rows, sh.String())
+	}
+	for _, ep := range g.ExtraPatterns {
+		rows = append(rows, ep.Name)
+	}
+	collective := g.Algorithms[0].Coll
+	m := core.NewMatrix(collective, rows, g.Algorithms)
+	m.MsgBytes = g.MsgBytes
+	m.Procs = g.Procs
+	m.Machine = g.Platform.Name
+	for j := range g.Algorithms {
+		m.Set(0, j, noDelay[j])
+	}
+
+	skewFor := func(algIdx int) int64 {
+		switch g.Policy {
+		case SkewPerAlgorithm:
+			return int64(g.Factor * noDelay[algIdx])
+		case SkewFixed:
+			return g.FixedSkewNs
+		default:
+			return int64(g.Factor * avgRuntime)
+		}
+	}
+
+	// Pass 2: the pattern rows.
+	for si, sh := range g.Shapes {
+		row := si + 1
+		for j, al := range g.Algorithms {
+			pat := pattern.Generate(sh, g.Procs, skewFor(j), g.Seed+int64(si))
+			res, err := g.benchOnce(al, pat, int64(row*100+j))
+			if err != nil {
+				return nil, nil, fmt.Errorf("expt: %s/%s: %w", sh, al.Name, err)
+			}
+			m.Set(row, j, res.LastDelay.Mean)
+		}
+	}
+	for ei, ep := range g.ExtraPatterns {
+		row := 1 + len(g.Shapes) + ei
+		for j, al := range g.Algorithms {
+			res, err := g.benchOnce(al, ep, int64(row*100+j))
+			if err != nil {
+				return nil, nil, fmt.Errorf("expt: %s/%s: %w", ep.Name, al.Name, err)
+			}
+			m.Set(row, j, res.LastDelay.Mean)
+		}
+	}
+	return m, noDelay, nil
+}

@@ -1,0 +1,273 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"collsel/internal/apps/ft"
+	"collsel/internal/coll"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+)
+
+func TestSizeToCount(t *testing.T) {
+	cases := []struct {
+		bytes, count, elem int
+	}{
+		{2, 1, 2},
+		{7, 1, 7},
+		{8, 1, 8},
+		{64, 8, 8},
+		{1024, 128, 8},
+		{4096, 128, 32},
+		{32768, 128, 256},
+		{1048576, 128, 8192},
+		{1000, 125, 8}, // not divisible by 128
+	}
+	for _, c := range cases {
+		count, elem := SizeToCount(c.bytes)
+		if count != c.count || elem != c.elem {
+			t.Errorf("SizeToCount(%d) = (%d,%d), want (%d,%d)", c.bytes, count, elem, c.count, c.elem)
+		}
+		if count*elem != c.bytes {
+			t.Errorf("SizeToCount(%d): product %d", c.bytes, count*elem)
+		}
+	}
+}
+
+func TestSimGridSets(t *testing.T) {
+	if n := len(SimGridSet(coll.Reduce)); n != 8 {
+		t.Errorf("reduce SimGrid set: %d", n)
+	}
+	if n := len(SimGridSet(coll.Allreduce)); n != 5 {
+		t.Errorf("allreduce SimGrid set: %d", n)
+	}
+	if n := len(SimGridSet(coll.Alltoall)); n != 6 {
+		t.Errorf("alltoall SimGrid set: %d", n)
+	}
+	// Unmapped collectives fall back to the full registry.
+	if n := len(SimGridSet(coll.Barrier)); n == 0 {
+		t.Error("barrier fallback empty")
+	}
+}
+
+func TestBuildMatrixValidation(t *testing.T) {
+	algs := coll.TableII(coll.Reduce)
+	bad := []GridConfig{
+		{},
+		{Platform: netmodel.SimCluster(), MsgBytes: 8},
+		{Platform: netmodel.SimCluster(), Algorithms: algs},
+		{Platform: netmodel.SimCluster(), Algorithms: algs, MsgBytes: 8}, // no rows
+		{Platform: netmodel.SimCluster(), Algorithms: algs, MsgBytes: 8, Procs: 8,
+			Shapes:        []pattern.Shape{pattern.Ascending},
+			ExtraPatterns: []pattern.Pattern{pattern.Generate(pattern.Random, 4, 10, 0)}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := BuildMatrix(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBuildMatrixShape(t *testing.T) {
+	algs := coll.TableII(coll.Alltoall)
+	extra := pattern.Generate(pattern.Random, 8, 50_000, 3)
+	extra.Name = "traced"
+	m, noDelay, err := BuildMatrix(GridConfig{
+		Platform:      netmodel.SimCluster(),
+		Procs:         8,
+		Algorithms:    algs,
+		Shapes:        []pattern.Shape{pattern.Ascending, pattern.LastDelayed},
+		ExtraPatterns: []pattern.Pattern{extra},
+		MsgBytes:      64,
+		Policy:        SkewAvgRuntime,
+		PerfectClocks: true,
+		NoNoise:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []string{"no_delay", "ascending", "last_delayed", "traced"}
+	if len(m.Patterns) != len(wantRows) {
+		t.Fatalf("rows %v", m.Patterns)
+	}
+	for i, r := range wantRows {
+		if m.Patterns[i] != r {
+			t.Fatalf("row %d = %s, want %s", i, m.Patterns[i], r)
+		}
+	}
+	if len(noDelay) != len(algs) {
+		t.Fatalf("noDelay has %d entries", len(noDelay))
+	}
+	for j, v := range noDelay {
+		if v <= 0 || v != m.ValueNs[0][j] {
+			t.Fatalf("noDelay[%d] = %g vs matrix %g", j, v, m.ValueNs[0][j])
+		}
+	}
+	if m.MsgBytes != 64 || m.Procs != 8 || m.Machine != "SimCluster" {
+		t.Fatalf("metadata: %+v", m)
+	}
+}
+
+func TestBuildMatrixDeterministicInSimMode(t *testing.T) {
+	cfg := GridConfig{
+		Platform:      netmodel.SimCluster(),
+		Procs:         8,
+		Algorithms:    coll.TableII(coll.Allreduce)[:3],
+		Shapes:        []pattern.Shape{pattern.Descending},
+		MsgBytes:      256,
+		PerfectClocks: true,
+		NoNoise:       true,
+	}
+	a, _, err := BuildMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := BuildMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ValueNs {
+		for j := range a.ValueNs[i] {
+			if a.ValueNs[i][j] != b.ValueNs[i][j] {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	res, err := RunFig4(Fig4Config{
+		Collective: coll.Reduce,
+		Procs:      16,
+		MsgSizes:   []int{8, 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) != 2 {
+		t.Fatalf("sizes %d", len(res.Sizes))
+	}
+	for _, s := range res.Sizes {
+		if len(s.Cells) != 9 { // no_delay + 8 shapes
+			t.Fatalf("cells %d", len(s.Cells))
+		}
+		if s.Cells[0].Pattern != "no_delay" || s.Cells[0].Ratio != 1 {
+			t.Fatalf("no_delay cell %+v", s.Cells[0])
+		}
+		for _, c := range s.Cells {
+			if c.Ratio <= 0 || c.Ratio > 1.0001 {
+				t.Fatalf("ratio %g out of (0,1]", c.Ratio)
+			}
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Fig. 4") || !strings.Contains(out, "no_delay") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestRunFig5Small(t *testing.T) {
+	res, err := RunFig5(Fig5Config{
+		Platform:   netmodel.Hydra(),
+		Collective: coll.Reduce,
+		Procs:      16,
+		MsgSizes:   []int{64},
+		Reps:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sizes[0]
+	if len(s.Matrix.Patterns) != 6 { // no_delay + 5 distinct shapes
+		t.Fatalf("patterns %v", s.Matrix.Patterns)
+	}
+	for i := range s.Good {
+		anyGood := false
+		for _, g := range s.Good[i] {
+			anyGood = anyGood || g
+		}
+		if !anyGood {
+			t.Fatalf("row %d has no good algorithm", i)
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "Fig. 5") {
+		t.Error("format missing header")
+	}
+}
+
+func TestRunFig6Small(t *testing.T) {
+	res, err := RunFig6(Fig6Config{
+		Platform:   netmodel.Hydra(),
+		Collective: coll.Allreduce,
+		Procs:      16,
+		MsgSizes:   []int{64},
+		Reps:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sizes[0]
+	if len(s.Rows) != 8 {
+		t.Fatalf("robustness rows %v", s.Rows)
+	}
+	if len(s.Cells) != 8 || len(s.Cells[0]) != 6 {
+		t.Fatalf("cell grid %dx%d", len(s.Cells), len(s.Cells[0]))
+	}
+	if out := res.Format(); !strings.Contains(out, "Fig. 6") {
+		t.Error("format missing header")
+	}
+}
+
+func TestRunFTStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFTStudy(FTStudyConfig{
+		Platforms: []*netmodel.Platform{netmodel.Hydra()},
+		Procs:     16,
+		Class:     ft.Class{Name: "t", NX: 64, NY: 64, NZ: 32, Iterations: 3},
+		Runs:      2,
+		Reps:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.Machines[0]
+	if len(ms.FTRuntimeSec) != 4 || len(ms.MicrobenchNs) != 4 {
+		t.Fatalf("per-algorithm vectors: %d, %d", len(ms.FTRuntimeSec), len(ms.MicrobenchNs))
+	}
+	if ms.Scenario.Size() != 16 {
+		t.Fatalf("scenario size %d", ms.Scenario.Size())
+	}
+	if ms.Matrix.PatternIndex("ft_scenario") < 0 {
+		t.Fatal("ft_scenario row missing")
+	}
+	if len(ms.Predictions) != 4 {
+		t.Fatal("predictions missing")
+	}
+	for _, p := range ms.Predictions {
+		if p.NoDelaySec <= 0 || p.AvgSec <= 0 {
+			t.Fatalf("prediction %+v", p)
+		}
+	}
+	for _, f := range []string{res.FormatFig1(""), res.FormatFig7(), res.FormatFig8(), res.FormatFig9()} {
+		if len(f) == 0 {
+			t.Fatal("empty figure format")
+		}
+	}
+}
+
+func TestSparkLine(t *testing.T) {
+	pat := pattern.Generate(pattern.Ascending, 64, 1000, 0)
+	out := SparkLine(pat)
+	if !strings.Contains(out, "ranks") || !strings.Contains(out, "#") {
+		t.Errorf("sparkline:\n%s", out)
+	}
+	if SparkLine(pattern.Pattern{}) == "" {
+		t.Error("empty pattern should render a placeholder")
+	}
+}

@@ -1,0 +1,311 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"collsel/internal/apps/ft"
+	"collsel/internal/coll"
+	"collsel/internal/core"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+	"collsel/internal/stats"
+	"collsel/internal/table"
+	"collsel/internal/trace"
+)
+
+// FTStudyConfig parameterizes the Section V case study, which spans
+// Figs. 1, 7, 8 and 9: run FT with every Alltoall algorithm, trace its
+// arrival patterns, replay them in micro-benchmarks, and predict the
+// application runtime from the benchmark matrix.
+type FTStudyConfig struct {
+	// Platforms to study; defaults to Hydra, Galileo100 and Discoverer.
+	Platforms []*netmodel.Platform
+	// Procs defaults to 256 (16x16): with class C this reproduces the
+	// paper's 32768 B per-pair message size. The paper's own scale is
+	// 1024 (32x32) with class D — identical message size, 16x the ranks.
+	Procs int
+	// Class defaults to ClassC.
+	Class ft.Class
+	// Runs is the number of FT executions averaged per algorithm (the
+	// paper uses 10).
+	Runs int
+	// Reps is the micro-benchmark repetition count.
+	Reps int
+	Seed int64
+}
+
+// FTMachineStudy is the complete case-study outcome for one machine.
+type FTMachineStudy struct {
+	Machine    string
+	Algorithms []coll.Algorithm
+	// FTRuntimeSec[j] is the mean measured FT runtime with algorithm j
+	// (Fig. 7, top); FTRuntimeStd is the run-to-run standard deviation.
+	FTRuntimeSec []float64
+	FTRuntimeStd []float64
+	// MicrobenchNs[j] is the no-delay Alltoall benchmark (Fig. 7, bottom).
+	MicrobenchNs []float64
+	// Scenario is the traced FT arrival pattern (Fig. 1 for Galileo100).
+	Scenario pattern.Pattern
+	// MaxTracedSkewNs is the largest observed arrival skew; it sets the
+	// magnitude of the artificial patterns in the Fig. 8 grid.
+	MaxTracedSkewNs int64
+	// Matrix is the Fig. 8 grid: no_delay + artificial shapes + the
+	// FT-Scenario row.
+	Matrix *core.Matrix
+	// AvgRow is the Fig. 8 bottom row: per-algorithm mean of the row-
+	// normalized runtimes over all patterns.
+	AvgRow []float64
+	// ComputeSec is the profiled compute time used by the predictor.
+	ComputeSec float64
+	// Predictions are the Fig. 9 estimates (no-delay vs. pattern-averaged).
+	Predictions []core.Prediction
+	// BenchAppCorrelation is the Spearman rank correlation between the
+	// no-delay micro-benchmark times and the FT runtimes (the paper's
+	// "uncorrelated" observation corresponds to values below 1).
+	BenchAppCorrelation float64
+	// AvgAppCorrelation correlates the Fig. 8 Average row with the FT
+	// runtimes; the paper's thesis is that this one is (near) 1.
+	AvgAppCorrelation float64
+}
+
+// FTStudyResult aggregates all machines.
+type FTStudyResult struct {
+	Class    ft.Class
+	Procs    int
+	Machines []FTMachineStudy
+}
+
+const ftScenarioName = "ft_scenario"
+
+// RunFTStudy executes the full Section V pipeline.
+func RunFTStudy(cfg FTStudyConfig) (*FTStudyResult, error) {
+	if len(cfg.Platforms) == 0 {
+		cfg.Platforms = []*netmodel.Platform{netmodel.Hydra(), netmodel.Galileo100(), netmodel.Discoverer()}
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 256
+	}
+	if cfg.Class.NX == 0 {
+		cfg.Class = ft.ClassC
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	algs := coll.TableII(coll.Alltoall)
+	out := &FTStudyResult{Class: cfg.Class, Procs: cfg.Procs}
+
+	for pi, pl := range cfg.Platforms {
+		ms := FTMachineStudy{Machine: pl.Name, Algorithms: algs}
+		msgBytes := cfg.Class.MsgBytesPerPair(cfg.Procs)
+
+		// --- FT runs per algorithm (Fig. 7 top) -------------------------
+		for _, al := range algs {
+			var runtimes []float64
+			for run := 0; run < cfg.Runs; run++ {
+				res, err := ft.Run(ft.Config{
+					Platform:    pl,
+					Procs:       cfg.Procs,
+					Seed:        cfg.Seed + int64(pi*1000+run),
+					Class:       cfg.Class,
+					AlltoallAlg: al,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("expt: FT on %s with %s: %w", pl.Name, al.Name, err)
+				}
+				runtimes = append(runtimes, res.RuntimeSec)
+			}
+			sum := stats.Summarize(runtimes)
+			ms.FTRuntimeSec = append(ms.FTRuntimeSec, sum.Mean)
+			ms.FTRuntimeStd = append(ms.FTRuntimeStd, sum.StdDev)
+		}
+
+		// --- Trace FT once to obtain the FT-Scenario (Fig. 1) -----------
+		tr := trace.New(cfg.Procs)
+		traceAlg := algs[1] // pairwise: a neutral mid-field choice
+		ftRes, err := ft.Run(ft.Config{
+			Platform:    pl,
+			Procs:       cfg.Procs,
+			Seed:        cfg.Seed + int64(pi*1000) + 500,
+			Class:       cfg.Class,
+			AlltoallAlg: traceAlg,
+			Tracer:      tr,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: FT trace on %s: %w", pl.Name, err)
+		}
+		ms.ComputeSec = ftRes.ComputeSecMean
+		scenario, err := tr.Scenario(ftScenarioName, coll.Alltoall)
+		if err != nil {
+			return nil, err
+		}
+		ms.Scenario = scenario
+		ms.MaxTracedSkewNs = tr.MaxSkewNs(coll.Alltoall)
+		if ms.MaxTracedSkewNs <= 0 {
+			ms.MaxTracedSkewNs = 1 // degenerate noiseless trace
+		}
+
+		// --- Fig. 8 grid -------------------------------------------------
+		m, noDelay, err := BuildMatrix(GridConfig{
+			Platform:      pl,
+			Procs:         cfg.Procs,
+			Seed:          cfg.Seed + int64(pi*1000) + 700,
+			Algorithms:    algs,
+			Shapes:        pattern.ArtificialShapes(),
+			ExtraPatterns: []pattern.Pattern{scenario},
+			MsgBytes:      msgBytes,
+			Policy:        SkewFixed,
+			FixedSkewNs:   ms.MaxTracedSkewNs,
+			Reps:          cfg.Reps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms.Matrix = m
+		ms.MicrobenchNs = noDelay
+		ms.AvgRow = m.AvgNormalized()
+
+		// --- Fig. 9 predictions ------------------------------------------
+		preds, err := m.PredictRuntime(ms.ComputeSec, cfg.Class.Iterations+1, ftScenarioName)
+		if err != nil {
+			return nil, err
+		}
+		ms.Predictions = preds
+		ms.BenchAppCorrelation = stats.Spearman(ms.MicrobenchNs, ms.FTRuntimeSec)
+		ms.AvgAppCorrelation = stats.Spearman(ms.AvgRow, ms.FTRuntimeSec)
+
+		out.Machines = append(out.Machines, ms)
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the uncorrelated FT-vs-microbenchmark comparison.
+func (r *FTStudyResult) FormatFig7() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7: FT (class %s) runtime vs. no-delay Alltoall micro-benchmark, %d procs\n\n", r.Class.Name, r.Procs)
+	for _, ms := range r.Machines {
+		fmt.Fprintf(&b, "-- %s --\n", ms.Machine)
+		tb := table.New("algorithm", "FT runtime", "stddev", "Alltoall bench (no-delay)")
+		for j, al := range ms.Algorithms {
+			tb.AddRow(
+				fmt.Sprintf("%d:%s", al.ID, al.Abbrev),
+				fmt.Sprintf("%.3f s", ms.FTRuntimeSec[j]),
+				fmt.Sprintf("%.4f", ms.FTRuntimeStd[j]),
+				table.Ns(ms.MicrobenchNs[j]),
+			)
+		}
+		b.WriteString(tb.String())
+		fmt.Fprintf(&b, "Spearman(bench, FT) = %.2f; Spearman(pattern-avg score, FT) = %.2f\n\n",
+			ms.BenchAppCorrelation, ms.AvgAppCorrelation)
+	}
+	return b.String()
+}
+
+// FormatFig8 renders the normalized pattern x algorithm heatmaps with the
+// Avg row.
+func (r *FTStudyResult) FormatFig8() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: normalized Alltoall runtimes (d-hat), message size %s, %d procs\n", table.Bytes(r.Class.MsgBytesPerPair(r.Procs)), r.Procs)
+	fmt.Fprintf(&b, "(per row: fastest = 1.00; absolute time in parentheses; last row = average over patterns)\n")
+	for _, ms := range r.Machines {
+		fmt.Fprintf(&b, "\n-- %s (max traced skew %s) --\n", ms.Machine, table.Ns(float64(ms.MaxTracedSkewNs)))
+		headers := []string{"pattern"}
+		for _, al := range ms.Algorithms {
+			headers = append(headers, fmt.Sprintf("%d:%s", al.ID, al.Abbrev))
+		}
+		tb := table.New(headers...)
+		norm := ms.Matrix.Normalized()
+		for i, pat := range ms.Matrix.Patterns {
+			row := []string{pat}
+			for j := range ms.Algorithms {
+				row = append(row, fmt.Sprintf("%.2f (%s)", norm[i][j], table.Ns(ms.Matrix.ValueNs[i][j])))
+			}
+			tb.AddRow(row...)
+		}
+		avgRow := []string{"Average"}
+		for _, v := range ms.AvgRow {
+			avgRow = append(avgRow, fmt.Sprintf("%.2f", v))
+		}
+		tb.AddRow(avgRow...)
+		b.WriteString(tb.String())
+	}
+	return b.String()
+}
+
+// FormatFig9 renders actual vs. predicted FT runtimes.
+func (r *FTStudyResult) FormatFig9() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9: actual vs. predicted FT runtime (class %s, %d procs)\n\n", r.Class.Name, r.Procs)
+	for _, ms := range r.Machines {
+		fmt.Fprintf(&b, "-- %s (profiled compute %.3f s) --\n", ms.Machine, ms.ComputeSec)
+		tb := table.New("algorithm", "actual FT", "predicted (No-delay)", "predicted (Avg excl. FT-Sce.)")
+		for j, al := range ms.Algorithms {
+			tb.AddRow(
+				fmt.Sprintf("%d:%s", al.ID, al.Abbrev),
+				fmt.Sprintf("%.3f s", ms.FTRuntimeSec[j]),
+				fmt.Sprintf("%.3f s", ms.Predictions[j].NoDelaySec),
+				fmt.Sprintf("%.3f s", ms.Predictions[j].AvgSec),
+			)
+		}
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFig1 renders the traced per-process average delay of the first
+// machine (the paper's Fig. 1 uses Galileo100).
+func (r *FTStudyResult) FormatFig1(machine string) string {
+	var b strings.Builder
+	for _, ms := range r.Machines {
+		if machine != "" && ms.Machine != machine {
+			continue
+		}
+		fmt.Fprintf(&b, "Fig. 1: avg. process delay across MPI_Alltoall calls in FT on %s (%d procs)\n", ms.Machine, r.Procs)
+		b.WriteString(SparkLine(ms.Scenario))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SparkLine renders a pattern as a coarse ASCII bar chart (8 buckets of
+// ranks, mean delay per bucket).
+func SparkLine(p pattern.Pattern) string {
+	if p.Size() == 0 {
+		return "(empty pattern)\n"
+	}
+	const buckets = 8
+	var b strings.Builder
+	n := p.Size()
+	per := (n + buckets - 1) / buckets
+	var maxMean float64
+	means := make([]float64, 0, buckets)
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		var sum float64
+		for _, d := range p.DelaysNs[lo:hi] {
+			sum += float64(d)
+		}
+		mean := sum / float64(hi-lo)
+		means = append(means, mean)
+		if mean > maxMean {
+			maxMean = mean
+		}
+	}
+	for i, mean := range means {
+		bars := 0
+		if maxMean > 0 {
+			bars = int(mean / maxMean * 40)
+		}
+		lo := i * per
+		hi := lo + per - 1
+		if hi >= n {
+			hi = n - 1
+		}
+		fmt.Fprintf(&b, "ranks %4d-%4d | %-40s %s\n", lo, hi, strings.Repeat("#", bars), table.Ns(mean))
+	}
+	return b.String()
+}

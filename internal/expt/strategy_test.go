@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/core"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+)
+
+func TestCompareStrategiesEndToEnd(t *testing.T) {
+	cmp, err := CompareStrategies(GridConfig{
+		Platform:   netmodel.Hydra(),
+		Procs:      32,
+		Algorithms: coll.TableII(coll.Alltoall),
+		Shapes:     pattern.ArtificialShapes(),
+		MsgBytes:   1024,
+		Policy:     SkewAvgRuntime,
+		Reps:       2,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Outcomes) != 3 {
+		t.Fatalf("outcomes %d", len(cmp.Outcomes))
+	}
+	for _, o := range cmp.Outcomes {
+		if o.MeanNs <= 0 || o.WorstNs < o.MeanNs {
+			t.Fatalf("outcome %v implausible: %+v", o.Strategy, o)
+		}
+	}
+	// Library default for alltoall at 1024 B, 32 procs is linear_sync.
+	if cmp.Outcomes[0].Algorithm.Name != "linear_sync" {
+		t.Errorf("default strategy picked %s", cmp.Outcomes[0].Algorithm.Name)
+	}
+	if out := cmp.Format(); !strings.Contains(out, "pattern-robust") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestCompareStrategiesOnSyntheticMatrix(t *testing.T) {
+	// The robust strategy must have the lowest mean across patterns by
+	// construction of the synthetic matrix.
+	algs := coll.TableII(coll.Alltoall) // ids 1..4
+	m := core.NewMatrix(coll.Alltoall, []string{"no_delay", "ascending", "descending"}, algs)
+	m.Machine, m.MsgBytes, m.Procs = "Test", 32768, 64
+	vals := [][]float64{
+		// lin   pair  bruck  lsync
+		{100, 140, 300, 90}, // no_delay: lsync wins
+		{400, 150, 310, 500},
+		{420, 150, 320, 480},
+	}
+	for i := range vals {
+		for j := range vals[i] {
+			m.Set(i, j, vals[i][j])
+		}
+	}
+	cmp, err := CompareStrategiesOn(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrategy := map[Strategy]StrategyOutcome{}
+	for _, o := range cmp.Outcomes {
+		byStrategy[o.Strategy] = o
+	}
+	if byStrategy[StrategyNoDelay].Algorithm.Name != "linear_sync" {
+		t.Errorf("no-delay pick %s", byStrategy[StrategyNoDelay].Algorithm.Name)
+	}
+	if byStrategy[StrategyRobust].Algorithm.Name != "pairwise" {
+		t.Errorf("robust pick %s", byStrategy[StrategyRobust].Algorithm.Name)
+	}
+	if byStrategy[StrategyRobust].MeanNs > byStrategy[StrategyNoDelay].MeanNs {
+		t.Error("robust pick has worse pattern-mean than the no-delay pick")
+	}
+	// Default for 32768 B at 64 procs is linear_sync too.
+	if byStrategy[StrategyDefault].Algorithm.Name != "linear_sync" {
+		t.Errorf("default pick %s", byStrategy[StrategyDefault].Algorithm.Name)
+	}
+}
+
+func TestCompareStrategiesUnknownCollective(t *testing.T) {
+	m := core.NewMatrix(coll.Gather, []string{"no_delay"}, coll.TableII(coll.Gather))
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Procs, m.MsgBytes = 4, 8
+	if _, err := CompareStrategiesOn(m); err == nil {
+		t.Error("gather has no fixed rules; expected error")
+	}
+}

@@ -1,0 +1,46 @@
+package mpi
+
+import (
+	"fmt"
+
+	"collsel/internal/sim"
+)
+
+// AsyncOp is the handle of an asynchronous operation driven by a progress
+// actor: the simulator's model of a non-blocking collective (MPI_Iallreduce
+// & friends). The schedule runs on its own simulated process, sharing the
+// rank's network ports — communication overlaps the caller's computation
+// exactly as a progress-threaded MPI implementation would overlap it, while
+// still competing for the same NIC.
+type AsyncOp struct {
+	r      *Rank
+	done   bool
+	cond   sim.Cond
+	result []float64
+	err    error
+}
+
+// StartAsync launches fn on a fresh progress actor belonging to rank r and
+// returns its handle. fn runs MPI operations on r (with tags that must not
+// collide with the caller's, e.g. from coll.NextTag).
+func (r *Rank) StartAsync(name string, fn func() ([]float64, error)) *AsyncOp {
+	op := &AsyncOp{r: r}
+	r.w.K.Spawn(fmt.Sprintf("rank%d/%s", r.id, name), func(p *sim.Proc) {
+		op.result, op.err = fn()
+		op.done = true
+		op.cond.Signal(r.w.K)
+	})
+	return op
+}
+
+// Done reports whether the operation has completed (MPI_Test).
+func (op *AsyncOp) Done() bool { return op.done }
+
+// Wait blocks the calling process until the operation completes and
+// returns its result (MPI_Wait).
+func (op *AsyncOp) Wait() ([]float64, error) {
+	if !op.done {
+		op.cond.Wait(op.r.curProc(), fmt.Sprintf("rank %d wait async", op.r.id))
+	}
+	return op.result, op.err
+}

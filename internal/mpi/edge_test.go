@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"collsel/internal/netmodel"
+)
+
+func TestIssendAlwaysRendezvous(t *testing.T) {
+	// A tiny Issend must still wait for the receiver (synchronous mode),
+	// unlike a tiny Isend.
+	w := newTestWorld(t, 2)
+	var issendDone, isendDone int64
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			q1 := r.Isend(1, 1, nil, 8)
+			q2 := r.Issend(1, 2, nil, 8)
+			q1.Wait()
+			isendDone = w.K.Now()
+			q2.Wait()
+			issendDone = w.K.Now()
+		} else {
+			r.SleepNs(3_000_000)
+			r.Recv(0, 1)
+			r.Recv(0, 2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isendDone > 100_000 {
+		t.Errorf("eager isend blocked until %d", isendDone)
+	}
+	if issendDone < 3_000_000 {
+		t.Errorf("issend completed at %d, before receiver arrived", issendDone)
+	}
+}
+
+func TestIssendSelf(t *testing.T) {
+	w := newTestWorld(t, 1)
+	var got float64
+	err := w.Run(func(r *Rank) {
+		rq := r.Irecv(0, 9)
+		sq := r.Issend(0, 9, []float64{3.5}, 8)
+		got = rq.Wait().Data[0]
+		sq.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.5 {
+		t.Fatalf("self issend got %g", got)
+	}
+}
+
+func TestComputeZeroAndNegative(t *testing.T) {
+	w := newTestWorld(t, 1)
+	err := w.Run(func(r *Rank) {
+		r.Compute(0)
+		r.Compute(-5)
+		if w.K.Now() != 0 {
+			r.Abort("time advanced on zero compute")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortSurfacesError(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			r.SleepNs(100)
+			r.Abort("synthetic failure %d", 42)
+		}
+		r.Recv(1, 1) // never satisfied
+	})
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure 42") {
+		t.Fatalf("abort not surfaced: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("abort lost rank attribution: %v", err)
+	}
+}
+
+func TestInvalidPeersAbort(t *testing.T) {
+	for _, f := range []func(r *Rank){
+		func(r *Rank) { r.Send(99, 1, nil, 8) },
+		func(r *Rank) { r.Recv(-1, 1) },
+		func(r *Rank) { r.Issend(5, 1, nil, 8) },
+	} {
+		w := newTestWorld(t, 2)
+		err := w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				f(r)
+			} else {
+				r.SleepNs(10)
+			}
+		})
+		if err == nil {
+			t.Error("invalid peer accepted")
+		}
+	}
+}
+
+func TestSyncedNowWithoutSyncIsLocal(t *testing.T) {
+	p := netmodel.SimCluster()
+	p.Clock = netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 1e6, MaxDriftPPM: 10}
+	w, err := NewWorld(Config{Platform: p, Size: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) {
+		if r.SyncedNowNs() != r.LocalNowNs() {
+			r.Abort("synced != local before SyncClock")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := newTestWorld(t, 3)
+	if w.Size() != 3 || w.Platform().Name != "SimCluster" {
+		t.Fatal("accessors broken")
+	}
+	if w.Rank(2) == nil || w.Noise() == nil || w.Clocks() == nil {
+		t.Fatal("nil accessor")
+	}
+	err := w.Run(func(r *Rank) {
+		if r.World() != w || r.Size() != 3 {
+			r.Abort("rank accessors broken")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestDoneFlag(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			q := r.Irecv(1, 1)
+			if q.Done() {
+				r.Abort("request done before message sent")
+			}
+			r.SleepNs(1_000_000)
+			if !q.Done() {
+				r.Abort("request not done after message arrived")
+			}
+			q.Wait()
+		} else {
+			r.Send(0, 1, nil, 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

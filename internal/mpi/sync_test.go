@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"collsel/internal/clocksync"
+	"collsel/internal/netmodel"
+)
+
+// syncWorld runs HCA clock synchronization on a world with imperfect clocks
+// and returns the worst-case error (ns) of the estimated reference time
+// across ranks, sampled after the protocol finished.
+func syncError(t *testing.T, size int, withNoise bool, seed int64) float64 {
+	t.Helper()
+	p := netmodel.SimCluster()
+	p.Clock = netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 2_000_000, MaxDriftPPM: 30}
+	if withNoise {
+		p.Noise = netmodel.NoiseProfile{Enabled: true, LinkJitterFrac: 0.05}
+	}
+	w, err := NewWorld(Config{Platform: p, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := make([]float64, size)
+	err = w.Run(func(r *Rank) {
+		r.SyncClock(clocksync.DefaultHCAConfig())
+		// Let some time pass so drift errors materialize, then compare the
+		// estimated reference time against the true reference clock.
+		r.SleepNs(int64(50_000_000 + 1000*r.ID()))
+		est := r.SyncedNowNs()
+		ref := w.Clocks().LocalOf(0, w.K.Now())
+		worst[r.ID()] = math.Abs(est - ref)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for _, e := range worst {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+func TestHCASyncSubMicrosecondNoNoise(t *testing.T) {
+	if e := syncError(t, 16, false, 1); e > 1000 {
+		t.Fatalf("sync error %.0f ns, want < 1000 ns", e)
+	}
+}
+
+func TestHCASyncNonPowerOfTwo(t *testing.T) {
+	if e := syncError(t, 13, false, 2); e > 1000 {
+		t.Fatalf("sync error %.0f ns with 13 ranks, want < 1000 ns", e)
+	}
+}
+
+func TestHCASyncWithLinkJitter(t *testing.T) {
+	// With jitter, min-RTT filtering should still keep the error small
+	// relative to the raw offsets (2 ms!).
+	if e := syncError(t, 16, true, 3); e > 10_000 {
+		t.Fatalf("sync error %.0f ns with jitter, want < 10 us", e)
+	}
+}
+
+func TestHCASyncLargerWorld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if e := syncError(t, 64, false, 4); e > 2000 {
+		t.Fatalf("sync error %.0f ns with 64 ranks, want < 2 us", e)
+	}
+}
+
+func TestWaitUntilSyncedAligns(t *testing.T) {
+	// After sync, all ranks waiting for the same reference instant should
+	// wake within a microsecond of each other in true global time.
+	p := netmodel.SimCluster()
+	p.Clock = netmodel.ClockProfile{Enabled: true, MaxOffsetNs: 2_000_000, MaxDriftPPM: 30}
+	w, err := NewWorld(Config{Platform: p, Size: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wake := make([]int64, 8)
+	err = w.Run(func(r *Rank) {
+		r.SyncClock(clocksync.DefaultHCAConfig())
+		r.WaitUntilSyncedNs(1e9) // reference time 1 s
+		wake[r.ID()] = w.K.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := wake[0], wake[0]
+	for _, ts := range wake {
+		if ts < lo {
+			lo = ts
+		}
+		if ts > hi {
+			hi = ts
+		}
+	}
+	if spread := hi - lo; spread > 1000 {
+		t.Fatalf("harmonized wake spread %d ns, want <= 1000", spread)
+	}
+}

@@ -1,0 +1,392 @@
+package mpi
+
+import (
+	"fmt"
+
+	"collsel/internal/sim"
+)
+
+// Message is what a receive operation yields.
+type Message struct {
+	Source int
+	Tag    int
+	// Data is the payload (may be nil for pure-timing messages).
+	Data []float64
+	// Bytes is the wire size the message was charged for.
+	Bytes int
+}
+
+// inMsg is an in-flight or arrived message on the receiver side.
+type inMsg struct {
+	src, dst, tag int
+	data          []float64
+	bytes         int
+	seq           int64
+	// pseq is the per-(src,dst)-pair sequence number used to enforce MPI's
+	// non-overtaking guarantee at the matching layer: with jittered link
+	// latencies, a later message may physically arrive earlier, but it must
+	// not become *matchable* before its predecessors.
+	pseq int64
+	// rndv marks an RTS envelope whose payload is still at the sender.
+	rndv bool
+	// sendReq is the sender's request (rendezvous: completed when the data
+	// actually leaves the sender port).
+	sendReq *Request
+}
+
+// pairFIFO reorders messages of one directed (src,dst) pair back into send
+// order before they reach the matching layer.
+type pairFIFO struct {
+	next    int64
+	pending map[int64]*inMsg
+}
+
+// Request represents an outstanding non-blocking operation.
+type Request struct {
+	r    *Rank // owning rank
+	done bool
+	cond sim.Cond
+	// anyCond, when non-nil, is a shared condition a WaitAny caller is
+	// blocked on; completion signals it too.
+	anyCond *sim.Cond
+	// recv state
+	isRecv   bool
+	src, tag int
+	msg      *inMsg
+}
+
+// Done reports whether the operation completed (MPI_Test semantics,
+// without deallocation).
+func (q *Request) Done() bool { return q.done }
+
+func (q *Request) complete() {
+	q.done = true
+	q.cond.Signal(q.r.w.K)
+	if q.anyCond != nil {
+		q.anyCond.Signal(q.r.w.K)
+		q.anyCond = nil
+	}
+}
+
+// WaitAny blocks until at least one of the given requests has completed
+// and returns its index and message (MPI_Waitany). Completed requests may
+// be passed as nil to skip them; if all requests are nil, WaitAny returns
+// -1 immediately.
+func WaitAny(reqs []*Request) (int, Message) {
+	var r *Rank
+	for _, q := range reqs {
+		if q != nil {
+			r = q.r
+			break
+		}
+	}
+	if r == nil {
+		return -1, Message{}
+	}
+	for {
+		for i, q := range reqs {
+			if q != nil && q.done {
+				return i, q.Wait()
+			}
+		}
+		var c sim.Cond
+		for _, q := range reqs {
+			if q != nil {
+				q.anyCond = &c
+			}
+		}
+		c.Wait(r.curProc(), fmt.Sprintf("rank %d waitany(%d reqs)", r.id, len(reqs)))
+		for _, q := range reqs {
+			if q != nil && !q.done {
+				q.anyCond = nil
+			}
+		}
+	}
+}
+
+// Wait blocks until the request completes. For receives it returns the
+// received message; for sends the returned Message is zero-valued.
+func (q *Request) Wait() Message {
+	if !q.done {
+		kind := "send"
+		if q.isRecv {
+			kind = fmt.Sprintf("recv(src=%d,tag=%d)", q.src, q.tag)
+		}
+		q.cond.Wait(q.r.curProc(), fmt.Sprintf("rank %d wait %s", q.r.id, kind))
+	}
+	if q.isRecv && q.msg != nil {
+		return Message{Source: q.msg.src, Tag: q.msg.tag, Data: q.msg.data, Bytes: q.msg.bytes}
+	}
+	return Message{}
+}
+
+// Waitall waits for every request in order.
+func Waitall(reqs ...*Request) []Message {
+	out := make([]Message, len(reqs))
+	for i, q := range reqs {
+		if q != nil {
+			out[i] = q.Wait()
+		}
+	}
+	return out
+}
+
+// Isend starts a non-blocking send of data (wire size bytes) to dst with
+// tag. The returned request completes when the send buffer may be reused:
+// for eager messages when the bytes have left the send port, for rendezvous
+// messages when the receiver has matched and the data has been pushed out.
+//
+// Passing bytes <= 0 derives the wire size from the payload (8 bytes per
+// float64); a nil payload with bytes > 0 sends a pure-timing message.
+func (r *Rank) Isend(dst, tag int, data []float64, bytes int) *Request {
+	if bytes <= 0 {
+		bytes = 8 * len(data)
+	}
+	w := r.w
+	req := &Request{r: r}
+	if dst < 0 || dst >= w.size {
+		r.Abort("Isend to invalid rank %d", dst)
+		return req
+	}
+	w.msgSeq++
+	m := &inMsg{src: r.id, dst: dst, tag: tag, data: data, bytes: bytes, seq: w.msgSeq, pseq: r.nextPseq(dst), sendReq: req}
+
+	if dst == r.id {
+		// Self message: local copy.
+		cost := int64(float64(bytes) * w.plat.CopyNsPerByte)
+		w.K.After(cost, func() {
+			req.complete()
+			w.deliverPayload(m)
+		})
+		return req
+	}
+
+	if bytes > w.plat.EagerThresholdBytes {
+		r.startRendezvous(m)
+	} else {
+		r.startEager(m)
+	}
+	return req
+}
+
+// startEager pushes the message through the sender port immediately; the
+// send request completes when the last byte leaves the port.
+func (r *Rank) startEager(m *inMsg) {
+	w := r.w
+	link := w.plat.LinkFor(m.src, m.dst)
+	start := maxTime(w.K.Now(), r.sendBusyUntil)
+	sendDone := start + w.plat.OverheadNs + link.TransferNs(m.bytes)
+	r.sendBusyUntil = sendDone
+	lat := w.noise.LatencyNs(m.src, link.LatencyNs)
+	firstByteAt := start + w.plat.OverheadNs + lat
+
+	w.K.At(sendDone, func() { m.sendReq.complete() })
+	w.K.At(firstByteAt, func() { w.arriveAtPort(m, link.TransferNs(m.bytes)) })
+}
+
+// startRendezvous sends a zero-byte RTS; data moves once the receiver has a
+// matching posted receive (handled in matchArrival / Irecv).
+func (r *Rank) startRendezvous(m *inMsg) {
+	w := r.w
+	link := w.plat.LinkFor(m.src, m.dst)
+	start := maxTime(w.K.Now(), r.sendBusyUntil)
+	rtsOut := start + w.plat.OverheadNs
+	r.sendBusyUntil = rtsOut
+	lat := w.noise.LatencyNs(m.src, link.LatencyNs)
+	rts := &inMsg{src: m.src, dst: m.dst, tag: m.tag, bytes: m.bytes, seq: m.seq, pseq: m.pseq, rndv: true, sendReq: m.sendReq, data: m.data}
+	w.K.At(rtsOut+lat, func() { w.deliverPayload(rts) })
+}
+
+// releaseRendezvous is called on the receiver when a posted receive matches
+// an RTS: it models the CTS control message back to the sender and then the
+// actual data transfer. It returns the receive-side request completion via
+// the normal arrival path.
+func (w *World) releaseRendezvous(rts *inMsg, recvReq *Request) {
+	src, dst := rts.src, rts.dst
+	receiver, sender := w.ranks[dst], w.ranks[src]
+	link := w.plat.LinkFor(dst, src)
+	// CTS: occupies the receiver's send port for the overhead only.
+	start := maxTime(w.K.Now(), receiver.sendBusyUntil)
+	ctsOut := start + w.plat.OverheadNs
+	receiver.sendBusyUntil = ctsOut
+	lat := w.noise.LatencyNs(dst, link.LatencyNs)
+	w.K.At(ctsOut+lat, func() {
+		// Data transfer from the sender port, as in the eager path.
+		dlink := w.plat.LinkFor(src, dst)
+		s := maxTime(w.K.Now(), sender.sendBusyUntil)
+		sendDone := s + w.plat.OverheadNs + dlink.TransferNs(rts.bytes)
+		sender.sendBusyUntil = sendDone
+		dlat := w.noise.LatencyNs(src, dlink.LatencyNs)
+		firstByteAt := s + w.plat.OverheadNs + dlat
+		w.K.At(sendDone, func() { rts.sendReq.complete() })
+		data := &inMsg{src: src, dst: dst, tag: rts.tag, data: rts.data, bytes: rts.bytes, seq: rts.seq}
+		w.K.At(firstByteAt, func() {
+			w.arriveToRequest(data, recvReq, dlink.TransferNs(rts.bytes))
+		})
+	})
+}
+
+// arriveAtPort serializes the message through the receiver's ejection port
+// and delivers the payload when the last byte has been drained.
+func (w *World) arriveAtPort(m *inMsg, transferNs int64) {
+	dst := w.ranks[m.dst]
+	completion := maxTime(w.K.Now(), dst.recvBusyUntil) + transferNs + w.plat.OverheadNs
+	dst.recvBusyUntil = completion
+	w.K.At(completion, func() { w.deliverPayload(m) })
+}
+
+// arriveToRequest is the rendezvous-data variant of arriveAtPort: the
+// matching receive request is already known.
+func (w *World) arriveToRequest(m *inMsg, req *Request, transferNs int64) {
+	dst := w.ranks[m.dst]
+	completion := maxTime(w.K.Now(), dst.recvBusyUntil) + transferNs + w.plat.OverheadNs
+	dst.recvBusyUntil = completion
+	w.K.At(completion, func() {
+		w.totalMessages++
+		w.totalBytes += int64(m.bytes)
+		req.msg = m
+		req.complete()
+	})
+}
+
+// deliverPayload runs at the instant a message (or RTS envelope) physically
+// arrives. Before matching, it runs through the per-pair FIFO so messages
+// become matchable strictly in send order (MPI non-overtaking).
+func (w *World) deliverPayload(m *inMsg) {
+	dst := w.ranks[m.dst]
+	fifo := dst.pairFIFO(m.src)
+	if m.pseq != fifo.next {
+		fifo.pending[m.pseq] = m
+		return
+	}
+	w.matchOrQueue(m)
+	fifo.next++
+	for {
+		nm, ok := fifo.pending[fifo.next]
+		if !ok {
+			break
+		}
+		delete(fifo.pending, fifo.next)
+		w.matchOrQueue(nm)
+		fifo.next++
+	}
+}
+
+// matchOrQueue matches a send-ordered message against posted receives or
+// appends it to the unexpected queue, charging the platform's per-entry
+// matching cost for the queue scan.
+func (w *World) matchOrQueue(m *inMsg) {
+	dst := w.ranks[m.dst]
+	for i, req := range dst.posted {
+		if req.src == m.src && req.tag == m.tag {
+			w.chargeMatch(dst, i+1)
+			dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
+			if m.rndv {
+				w.releaseRendezvous(m, req)
+			} else {
+				w.totalMessages++
+				w.totalBytes += int64(m.bytes)
+				req.msg = m
+				req.complete()
+			}
+			return
+		}
+	}
+	w.chargeMatch(dst, len(dst.posted))
+	dst.unexpected = append(dst.unexpected, m)
+}
+
+// chargeMatch advances the receiver's port clock by the matching cost of a
+// scan over entries queue slots. The receive port is the natural resource:
+// matching happens on the path that drains arrivals.
+func (w *World) chargeMatch(dst *Rank, entries int) {
+	if w.plat.MatchNsPerEntry <= 0 || entries <= 0 {
+		return
+	}
+	cost := int64(w.plat.MatchNsPerEntry * float64(entries))
+	busy := maxTime(w.K.Now(), dst.recvBusyUntil)
+	dst.recvBusyUntil = busy + cost
+}
+
+// Irecv posts a non-blocking receive for a message from src with tag.
+func (r *Rank) Irecv(src, tag int) *Request {
+	w := r.w
+	req := &Request{r: r, isRecv: true, src: src, tag: tag}
+	if src < 0 || src >= w.size {
+		r.Abort("Irecv from invalid rank %d", src)
+		return req
+	}
+	// Check the unexpected queue first (FIFO per envelope).
+	for i, m := range r.unexpected {
+		if m.src == src && m.tag == tag {
+			w.chargeMatch(r, i+1)
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			if m.rndv {
+				w.releaseRendezvous(m, req)
+			} else {
+				w.totalMessages++
+				w.totalBytes += int64(m.bytes)
+				req.msg = m
+				req.complete()
+			}
+			return req
+		}
+	}
+	r.posted = append(r.posted, req)
+	return req
+}
+
+// Issend starts a non-blocking synchronous-mode send (MPI_Issend): the
+// rendezvous protocol is used regardless of size, so the request cannot
+// complete before the receiver has posted a matching receive. Open MPI's
+// "linear with sync" alltoall relies on this mode.
+func (r *Rank) Issend(dst, tag int, data []float64, bytes int) *Request {
+	if bytes <= 0 {
+		bytes = 8 * len(data)
+	}
+	w := r.w
+	req := &Request{r: r}
+	if dst < 0 || dst >= w.size {
+		r.Abort("Issend to invalid rank %d", dst)
+		return req
+	}
+	w.msgSeq++
+	m := &inMsg{src: r.id, dst: dst, tag: tag, data: data, bytes: bytes, seq: w.msgSeq, pseq: r.nextPseq(dst), sendReq: req}
+	if dst == r.id {
+		cost := int64(float64(bytes) * w.plat.CopyNsPerByte)
+		w.K.After(cost, func() {
+			req.complete()
+			w.deliverPayload(m)
+		})
+		return req
+	}
+	r.startRendezvous(m)
+	return req
+}
+
+// Send is a blocking send (completes when the buffer may be reused).
+func (r *Rank) Send(dst, tag int, data []float64, bytes int) {
+	r.Isend(dst, tag, data, bytes).Wait()
+}
+
+// Recv is a blocking receive.
+func (r *Rank) Recv(src, tag int) Message {
+	return r.Irecv(src, tag).Wait()
+}
+
+// Sendrecv performs a combined send and receive, as MPI_Sendrecv: both are
+// started together, so the pair cannot deadlock against a symmetric partner.
+func (r *Rank) Sendrecv(dst, sendTag int, data []float64, bytes int, src, recvTag int) Message {
+	rq := r.Irecv(src, recvTag)
+	sq := r.Isend(dst, sendTag, data, bytes)
+	msg := rq.Wait()
+	sq.Wait()
+	return msg
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

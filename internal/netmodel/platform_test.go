@@ -1,0 +1,157 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range Presets() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SimCluster", "Hydra", "Galileo100", "Discoverer"} {
+		p := ByName(name)
+		if p == nil || p.Name != name {
+			t.Errorf("ByName(%q) = %v", name, p)
+		}
+	}
+	if ByName("nonexistent") != nil {
+		t.Error("ByName should return nil for unknown machine")
+	}
+}
+
+func TestSimClusterMatchesPaper(t *testing.T) {
+	p := SimCluster()
+	if p.Nodes != 32 || p.CoresPerNode != 32 {
+		t.Fatalf("want 32x32, got %dx%d", p.Nodes, p.CoresPerNode)
+	}
+	if p.Size() != 1024 {
+		t.Fatalf("size = %d, want 1024", p.Size())
+	}
+	if p.Intra.LatencyNs != 1000 || p.Inter.LatencyNs != 2000 {
+		t.Fatalf("latencies %d/%d, want 1000/2000 ns", p.Intra.LatencyNs, p.Inter.LatencyNs)
+	}
+	// 10 Gbps = 1.25e9 bytes/s
+	if p.Intra.BandwidthBps != 1.25e9 || p.Inter.BandwidthBps != 1.25e9 {
+		t.Fatalf("bandwidths %g/%g, want 1.25e9", p.Intra.BandwidthBps, p.Inter.BandwidthBps)
+	}
+	if p.Noise.Enabled || p.Clock.Enabled {
+		t.Fatal("SimCluster must be noiseless with perfect clocks")
+	}
+}
+
+func TestNodeOfBlockPlacement(t *testing.T) {
+	p := SimCluster()
+	cases := []struct{ rank, node int }{
+		{0, 0}, {31, 0}, {32, 1}, {63, 1}, {1023, 31},
+	}
+	for _, c := range cases {
+		if got := p.NodeOf(c.rank); got != c.node {
+			t.Errorf("NodeOf(%d) = %d, want %d", c.rank, got, c.node)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := SimCluster()
+	if p.Classify(0, 5) != LinkIntraNode {
+		t.Error("same node should be intra")
+	}
+	if p.Classify(0, 32) != LinkInterNode {
+		t.Error("different nodes should be inter")
+	}
+	d := Discoverer()
+	// GroupSize 16: nodes 0..15 group 0, 16..31 group 1.
+	sameGroup := d.Classify(0, 15*32) // node 15, group 0
+	if sameGroup != LinkInterNode {
+		t.Errorf("same group = %v, want inter-node", sameGroup)
+	}
+	crossGroup := d.Classify(0, 16*32) // node 16, group 1
+	if crossGroup != LinkInterGroup {
+		t.Errorf("cross group = %v, want inter-group", crossGroup)
+	}
+}
+
+func TestLinkForLatencyOrdering(t *testing.T) {
+	// Intra latency <= inter latency <= inter-group latency on every preset.
+	for _, p := range Presets() {
+		if p.Intra.LatencyNs > p.Inter.LatencyNs {
+			t.Errorf("%s: intra latency above inter", p.Name)
+		}
+		if p.GroupSize > 0 && p.Inter.LatencyNs > p.InterGroup.LatencyNs {
+			t.Errorf("%s: inter latency above inter-group", p.Name)
+		}
+	}
+}
+
+func TestTransferNs(t *testing.T) {
+	l := Link{LatencyNs: 1000, BandwidthBps: 1e9}
+	if got := l.TransferNs(1000); got != 1000 {
+		t.Errorf("1000 B at 1 GB/s = %d ns, want 1000", got)
+	}
+	if got := l.TransferNs(0); got != 0 {
+		t.Errorf("0 B = %d ns, want 0", got)
+	}
+	if got := l.TransferNs(-5); got != 0 {
+		t.Errorf("negative bytes = %d ns, want 0", got)
+	}
+	if got := l.TransferNs(1); got != 1 {
+		t.Errorf("1 B = %d ns, want 1 (ceil)", got)
+	}
+}
+
+func TestBackgroundTrafficReducesBandwidth(t *testing.T) {
+	p := Galileo100()
+	base := p.Inter.BandwidthBps
+	eff := p.LinkFor(0, 33).BandwidthBps
+	if eff >= base {
+		t.Fatalf("background traffic should reduce bandwidth: %g >= %g", eff, base)
+	}
+	p.Noise.Enabled = false
+	if got := p.LinkFor(0, 33).BandwidthBps; got != base {
+		t.Fatalf("disabled noise should restore full bandwidth, got %g", got)
+	}
+}
+
+func TestValidateRejectsBadPlatforms(t *testing.T) {
+	bad := []*Platform{
+		{Name: "noNodes", Nodes: 0, CoresPerNode: 4, Intra: Link{BandwidthBps: 1}},
+		{Name: "noBW", Nodes: 2, CoresPerNode: 4, Intra: Link{BandwidthBps: 0}, Inter: Link{BandwidthBps: 1}},
+		{Name: "negLat", Nodes: 2, CoresPerNode: 4, Intra: Link{LatencyNs: -1, BandwidthBps: 1}, Inter: Link{BandwidthBps: 1}},
+		{Name: "badGroup", Nodes: 10, CoresPerNode: 4, GroupSize: 3, Intra: Link{BandwidthBps: 1}, Inter: Link{BandwidthBps: 1}, InterGroup: Link{BandwidthBps: 1}},
+		{Name: "negEager", Nodes: 2, CoresPerNode: 1, EagerThresholdBytes: -1, Intra: Link{BandwidthBps: 1}, Inter: Link{BandwidthBps: 1}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", p.Name)
+		}
+	}
+}
+
+func TestClassifySymmetricProperty(t *testing.T) {
+	p := Discoverer()
+	n := p.Size()
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%n, int(b)%n
+		return p.Classify(src, dst) == p.Classify(dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupOfConsistentWithNodeOf(t *testing.T) {
+	p := Discoverer()
+	f := func(a uint16) bool {
+		r := int(a) % p.Size()
+		return p.GroupOf(r) == p.NodeOf(r)/p.GroupSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package noise
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collsel/internal/netmodel"
+)
+
+func TestInertModelIsTransparent(t *testing.T) {
+	m := Inert(16)
+	for r := 0; r < 16; r++ {
+		if m.SpeedFactor(r) != 1 {
+			t.Fatalf("rank %d speed %g, want 1", r, m.SpeedFactor(r))
+		}
+		if got := m.ComputeNs(r, 1000); got != 1000 {
+			t.Fatalf("rank %d compute %d, want 1000", r, got)
+		}
+		if got := m.LatencyNs(r, 2000); got != 2000 {
+			t.Fatalf("rank %d latency %d, want 2000", r, got)
+		}
+	}
+}
+
+func TestDisabledProfileIsTransparent(t *testing.T) {
+	p := netmodel.SimCluster() // noise disabled
+	m := New(p, p.Size(), 42)
+	if m.Enabled() {
+		t.Fatal("SimCluster noise should be disabled")
+	}
+	for _, r := range []int{0, 100, 1023} {
+		if m.SpeedFactor(r) != 1 {
+			t.Fatalf("rank %d speed %g", r, m.SpeedFactor(r))
+		}
+		if got := m.ComputeNs(r, 5000); got != 5000 {
+			t.Fatalf("compute %d", got)
+		}
+	}
+}
+
+func TestReproducibleAcrossConstruction(t *testing.T) {
+	p := netmodel.Galileo100()
+	a := New(p, 256, 7)
+	b := New(p, 256, 7)
+	for r := 0; r < 256; r++ {
+		if a.SpeedFactor(r) != b.SpeedFactor(r) {
+			t.Fatalf("speed mismatch at rank %d", r)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if a.ComputeNs(3, 10000) != b.ComputeNs(3, 10000) {
+			t.Fatalf("compute stream diverged at draw %d", i)
+		}
+		if a.LatencyNs(9, 2000) != b.LatencyNs(9, 2000) {
+			t.Fatalf("latency stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	p := netmodel.Galileo100()
+	a := New(p, 64, 1)
+	b := New(p, 64, 2)
+	same := true
+	for r := 0; r < 64 && same; r++ {
+		if a.SpeedFactor(r) != b.SpeedFactor(r) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical speed factors")
+	}
+}
+
+func TestRankStreamsIndependent(t *testing.T) {
+	// Drawing from rank 0's stream must not change rank 1's draws.
+	p := netmodel.Galileo100()
+	a := New(p, 8, 99)
+	b := New(p, 8, 99)
+	for i := 0; i < 100; i++ {
+		a.ComputeNs(0, 1000) // consume rank 0 only on a
+	}
+	for i := 0; i < 20; i++ {
+		if a.ComputeNs(1, 1000) != b.ComputeNs(1, 1000) {
+			t.Fatalf("rank 1 stream perturbed by rank 0 draws (i=%d)", i)
+		}
+	}
+}
+
+func TestSpeedFactorsAtLeastOne(t *testing.T) {
+	for _, pl := range []*netmodel.Platform{netmodel.Hydra(), netmodel.Galileo100(), netmodel.Discoverer()} {
+		m := New(pl, pl.Size(), 3)
+		for r := 0; r < pl.Size(); r++ {
+			if m.SpeedFactor(r) < 1 {
+				t.Fatalf("%s rank %d speed %g < 1", pl.Name, r, m.SpeedFactor(r))
+			}
+		}
+	}
+}
+
+func TestComputeNeverFaster(t *testing.T) {
+	p := netmodel.Discoverer()
+	m := New(p, 32, 5)
+	f := func(r uint8, d uint32) bool {
+		rank := int(r) % 32
+		nominal := int64(d)
+		return m.ComputeNs(rank, nominal) >= nominal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyJitterPositive(t *testing.T) {
+	p := netmodel.Discoverer()
+	m := New(p, 32, 5)
+	for i := 0; i < 1000; i++ {
+		if got := m.LatencyNs(i%32, 1000); got <= 0 {
+			t.Fatalf("non-positive latency %d", got)
+		}
+	}
+}
+
+func TestNodeImbalanceSharedWithinNode(t *testing.T) {
+	// With only node-level imbalance, ranks on the same node share a factor.
+	p := netmodel.Hydra()
+	p.Noise.RankImbalanceFrac = 0
+	m := New(p, p.CoresPerNode*2, 11)
+	for r := 1; r < p.CoresPerNode; r++ {
+		if m.SpeedFactor(r) != m.SpeedFactor(0) {
+			t.Fatalf("rank %d differs from rank 0 on same node", r)
+		}
+	}
+	if m.SpeedFactor(p.CoresPerNode) == m.SpeedFactor(0) {
+		t.Log("note: node 1 coincidentally equals node 0 (allowed but unlikely)")
+	}
+}

@@ -1,0 +1,175 @@
+package papaware
+
+import (
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/mpi"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+)
+
+func runAlg(t *testing.T, p int, al coll.Algorithm, count, root int, delays []int64) [][]float64 {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, p)
+	err = w.Run(func(r *mpi.Rank) {
+		if delays != nil {
+			r.SleepNs(delays[r.ID()])
+		}
+		data := make([]float64, count)
+		for i := range data {
+			data[i] = float64(r.ID()*10 + i)
+		}
+		a := &coll.Args{R: r, Root: root, Data: data, Count: count, Tag: coll.NextTag(r)}
+		res, err := al.Run(a)
+		if err != nil {
+			r.Abort("%v", err)
+		}
+		out[r.ID()] = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wantSum(p, count, i int) float64 {
+	want := 0.0
+	for s := 0; s < p; s++ {
+		want += float64(s*10 + i)
+	}
+	return want
+}
+
+func TestRegistered(t *testing.T) {
+	if len(Algorithms(coll.Reduce)) != 2 {
+		t.Error("expected 2 PAP-aware reduce algorithms")
+	}
+	if len(Algorithms(coll.Allreduce)) != 1 {
+		t.Error("expected 1 PAP-aware allreduce algorithm")
+	}
+	if _, ok := coll.ByName(coll.Reduce, "arrival_linear"); !ok {
+		t.Error("arrival_linear not in global registry")
+	}
+}
+
+func TestArrivalLinearCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 13, 33, 64} {
+		for _, root := range []int{0, p - 1} {
+			al, _ := coll.ByName(coll.Reduce, "arrival_linear")
+			out := runAlg(t, p, al, 5, root, nil)
+			for i := 0; i < 5; i++ {
+				if out[root][i] != wantSum(p, 5, i) {
+					t.Fatalf("p=%d root=%d elem %d: got %g want %g", p, root, i, out[root][i], wantSum(p, 5, i))
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchicalArrivalCorrect(t *testing.T) {
+	// Sizes spanning multiple simulated nodes (SimCluster: 32 cores/node).
+	for _, p := range []int{1, 2, 31, 32, 33, 64, 100, 128} {
+		for _, root := range []int{0, p / 2, p - 1} {
+			al, _ := coll.ByName(coll.Reduce, "hierarchical_arrival")
+			out := runAlg(t, p, al, 3, root, nil)
+			for i := 0; i < 3; i++ {
+				if out[root] == nil || out[root][i] != wantSum(p, 3, i) {
+					t.Fatalf("p=%d root=%d elem %d: got %v want %g", p, root, i, out[root], wantSum(p, 3, i))
+				}
+			}
+		}
+	}
+}
+
+func TestArrivalRedBcastCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 13, 64} {
+		al, _ := coll.ByName(coll.Allreduce, "arrival_redbcast")
+		out := runAlg(t, p, al, 4, 0, nil)
+		for rk := 0; rk < p; rk++ {
+			for i := 0; i < 4; i++ {
+				if out[rk][i] != wantSum(p, 4, i) {
+					t.Fatalf("p=%d rank %d elem %d: got %g", p, rk, i, out[rk][i])
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectUnderSkewedArrivals(t *testing.T) {
+	// The arrival-ordered schedules must stay correct whatever the pattern.
+	for _, sh := range pattern.ArtificialShapes() {
+		pat := pattern.Generate(sh, 64, 2_000_000, 3)
+		for _, name := range []string{"arrival_linear", "hierarchical_arrival"} {
+			al, _ := coll.ByName(coll.Reduce, name)
+			out := runAlg(t, 64, al, 2, 0, pat.DelaysNs)
+			for i := 0; i < 2; i++ {
+				if out[0][i] != wantSum(64, 2, i) {
+					t.Fatalf("%s under %v: elem %d = %g", name, sh, i, out[0][i])
+				}
+			}
+		}
+	}
+}
+
+func TestArrivalOrderAbsorbsSkewBetterThanRankOrder(t *testing.T) {
+	// With a large-message reduce and a last-delayed pattern, the
+	// arrival-ordered root has already reduced p-2 buffers when the last
+	// one shows up; the rank-ordered linear reduce must not be faster.
+	p := 32
+	skew := pattern.Generate(pattern.LastDelayed, p, 3_000_000, 0)
+	timeOf := func(name string) int64 {
+		al, _ := coll.ByName(coll.Reduce, name)
+		w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end int64
+		err = w.Run(func(r *mpi.Rank) {
+			r.SleepNs(skew.DelaysNs[r.ID()])
+			data := make([]float64, 4096) // 32 KiB
+			a := &coll.Args{R: r, Root: 0, Data: data, Count: 4096, Tag: coll.NextTag(r)}
+			if _, err := al.Run(a); err != nil {
+				r.Abort("%v", err)
+			}
+			if r.ID() == 0 {
+				end = w.K.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	arrival := timeOf("arrival_linear")
+	rankOrder := timeOf("linear")
+	if arrival > rankOrder {
+		t.Fatalf("arrival-ordered reduce (%d ns) slower than rank-ordered (%d ns) under last-delayed skew", arrival, rankOrder)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	w, err := mpi.NewWorld(mpi.Config{Platform: netmodel.SimCluster(), Size: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, _ := coll.ByName(coll.Reduce, "arrival_linear")
+	var rerr error
+	err = w.Run(func(r *mpi.Rank) {
+		a := &coll.Args{R: r, Count: 3, Data: make([]float64, 1), Tag: coll.NextTag(r)}
+		_, e := al.Run(a)
+		if r.ID() == 0 {
+			rerr = e
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr == nil {
+		t.Fatal("bad args accepted")
+	}
+}

@@ -1,0 +1,248 @@
+// Package pattern implements the process-arrival-pattern machinery of the
+// paper: the eight artificial shapes of Fig. 3, the generator that turns
+// (shape, process count, maximum skew) into per-process delays, the
+// one-line-per-process file format used to feed micro-benchmarks, and
+// trace-derived patterns (the "FT-Scenario").
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Shape identifies one arrival-pattern shape.
+type Shape int
+
+const (
+	// NoDelay is the perfectly synchronized baseline (not one of the eight
+	// artificial shapes, but the reference row of every figure).
+	NoDelay Shape = iota
+	// Ascending delays rank i proportionally to i.
+	Ascending
+	// Descending delays rank i proportionally to p-1-i.
+	Descending
+	// LastDelayed delays only the last rank (p-1) by the full skew.
+	LastDelayed
+	// FirstDelayed delays only rank 0 by the full skew.
+	FirstDelayed
+	// Random draws each delay uniformly from [0, s].
+	Random
+	// VShape delays the edge ranks most and the middle ranks least.
+	VShape
+	// InverseV delays the middle ranks most and the edge ranks least.
+	InverseV
+	// HalfDelayed delays the upper half of the ranks by the full skew
+	// (a two-level step, as produced by e.g. one slow switch or socket).
+	HalfDelayed
+)
+
+var shapeNames = map[Shape]string{
+	NoDelay:      "no_delay",
+	Ascending:    "ascending",
+	Descending:   "descending",
+	LastDelayed:  "last_delayed",
+	FirstDelayed: "first_delayed",
+	Random:       "random",
+	VShape:       "v_shape",
+	InverseV:     "inverse_v",
+	HalfDelayed:  "half_delayed",
+}
+
+func (s Shape) String() string {
+	if n, ok := shapeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// ShapeByName resolves a shape from its lowercase name.
+func ShapeByName(name string) (Shape, bool) {
+	for s, n := range shapeNames {
+		if n == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// ArtificialShapes returns the eight artificial shapes of Fig. 3, in the
+// paper's presentation order.
+func ArtificialShapes() []Shape {
+	return []Shape{Ascending, Descending, LastDelayed, FirstDelayed, Random, VShape, InverseV, HalfDelayed}
+}
+
+// AllShapes returns NoDelay followed by the eight artificial shapes.
+func AllShapes() []Shape {
+	return append([]Shape{NoDelay}, ArtificialShapes()...)
+}
+
+// Pattern is a concrete process arrival pattern: one delay per rank.
+type Pattern struct {
+	// Name describes the pattern (a shape name or e.g. "ft_scenario").
+	Name string
+	// DelaysNs[i] is the skew applied to rank i before it enters the
+	// collective, in nanoseconds.
+	DelaysNs []int64
+}
+
+// Generate materializes a shape for p processes with the given maximum
+// process skew s (ns). Random shapes use the seed; deterministic shapes
+// ignore it.
+func Generate(sh Shape, p int, maxSkewNs int64, seed int64) Pattern {
+	if p <= 0 {
+		return Pattern{Name: sh.String()}
+	}
+	d := make([]int64, p)
+	s := float64(maxSkewNs)
+	frac := func(i int) float64 {
+		if p == 1 {
+			return 0
+		}
+		return float64(i) / float64(p-1)
+	}
+	switch sh {
+	case NoDelay:
+		// all zero
+	case Ascending:
+		for i := range d {
+			d[i] = int64(s * frac(i))
+		}
+	case Descending:
+		for i := range d {
+			d[i] = int64(s * (1 - frac(i)))
+		}
+	case LastDelayed:
+		d[p-1] = maxSkewNs
+	case FirstDelayed:
+		d[0] = maxSkewNs
+	case Random:
+		rng := rand.New(rand.NewSource(seed ^ 0x9a7caf))
+		for i := range d {
+			d[i] = int64(rng.Float64() * s)
+		}
+	case VShape:
+		for i := range d {
+			d[i] = int64(s * abs(2*frac(i)-1))
+		}
+	case InverseV:
+		for i := range d {
+			d[i] = int64(s * (1 - abs(2*frac(i)-1)))
+		}
+	case HalfDelayed:
+		for i := p / 2; i < p; i++ {
+			d[i] = maxSkewNs
+		}
+	}
+	return Pattern{Name: sh.String(), DelaysNs: d}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FromDelays builds a pattern from measured per-process delays, e.g. the
+// averaged trace of an application (the FT-Scenario).
+func FromDelays(name string, delaysNs []int64) Pattern {
+	out := make([]int64, len(delaysNs))
+	copy(out, delaysNs)
+	return Pattern{Name: name, DelaysNs: out}
+}
+
+// Size returns the number of processes the pattern describes.
+func (p Pattern) Size() int { return len(p.DelaysNs) }
+
+// MaxSkewNs returns the maximum process skew of the pattern.
+func (p Pattern) MaxSkewNs() int64 {
+	var m int64
+	for _, d := range p.DelaysNs {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Scaled returns a copy rescaled so its maximum skew equals maxSkewNs,
+// preserving the shape. A zero-skew pattern is returned unchanged.
+func (p Pattern) Scaled(maxSkewNs int64) Pattern {
+	cur := p.MaxSkewNs()
+	out := Pattern{Name: p.Name, DelaysNs: make([]int64, len(p.DelaysNs))}
+	if cur == 0 {
+		return out
+	}
+	f := float64(maxSkewNs) / float64(cur)
+	for i, d := range p.DelaysNs {
+		out.DelaysNs[i] = int64(math.Round(float64(d) * f))
+	}
+	return out
+}
+
+// Normalized returns the delays as fractions of the maximum skew.
+func (p Pattern) Normalized() []float64 {
+	out := make([]float64, len(p.DelaysNs))
+	m := p.MaxSkewNs()
+	if m == 0 {
+		return out
+	}
+	for i, d := range p.DelaysNs {
+		out[i] = float64(d) / float64(m)
+	}
+	return out
+}
+
+// WriteFile writes the pattern in the paper's format: one line per process
+// holding that process's skew in nanoseconds, preceded by a comment header.
+func (p Pattern) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# arrival pattern %q, %d processes, max skew %d ns\n", p.Name, p.Size(), p.MaxSkewNs())
+	for _, d := range p.DelaysNs {
+		fmt.Fprintln(w, d)
+	}
+	return w.Flush()
+}
+
+// ReadFile parses a pattern file written by WriteFile (comment lines
+// starting with '#' are skipped). The pattern name is derived from the
+// file path.
+func ReadFile(path string) (Pattern, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Pattern{}, err
+	}
+	defer f.Close()
+	var delays []int64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(txt, 10, 64)
+		if err != nil {
+			return Pattern{}, fmt.Errorf("pattern: %s:%d: %v", path, line, err)
+		}
+		if v < 0 {
+			return Pattern{}, fmt.Errorf("pattern: %s:%d: negative delay %d", path, line, v)
+		}
+		delays = append(delays, v)
+	}
+	if err := sc.Err(); err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{Name: path, DelaysNs: delays}, nil
+}

@@ -1,0 +1,246 @@
+package pattern
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNamesRoundTrip(t *testing.T) {
+	for _, s := range AllShapes() {
+		got, ok := ShapeByName(s.String())
+		if !ok || got != s {
+			t.Errorf("ShapeByName(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := ShapeByName("zigzag"); ok {
+		t.Error("unknown shape resolved")
+	}
+}
+
+func TestEightArtificialShapes(t *testing.T) {
+	if n := len(ArtificialShapes()); n != 8 {
+		t.Fatalf("%d artificial shapes, want 8 (Fig. 3)", n)
+	}
+	for _, s := range ArtificialShapes() {
+		if s == NoDelay {
+			t.Error("NoDelay must not be an artificial shape")
+		}
+	}
+	if len(AllShapes()) != 9 {
+		t.Error("AllShapes should be NoDelay + 8")
+	}
+}
+
+func TestGenerateShapesStructure(t *testing.T) {
+	const p, s = 32, 1_000_000
+	for _, sh := range AllShapes() {
+		pat := Generate(sh, p, s, 7)
+		if pat.Size() != p {
+			t.Fatalf("%v: size %d", sh, pat.Size())
+		}
+		for i, d := range pat.DelaysNs {
+			if d < 0 || d > s {
+				t.Fatalf("%v: delay[%d] = %d out of [0, %d]", sh, i, d, s)
+			}
+		}
+	}
+
+	asc := Generate(Ascending, p, s, 0).DelaysNs
+	if asc[0] != 0 || asc[p-1] != s {
+		t.Errorf("ascending endpoints: %d, %d", asc[0], asc[p-1])
+	}
+	for i := 1; i < p; i++ {
+		if asc[i] < asc[i-1] {
+			t.Errorf("ascending not monotone at %d", i)
+		}
+	}
+
+	desc := Generate(Descending, p, s, 0).DelaysNs
+	if desc[0] != s || desc[p-1] != 0 {
+		t.Errorf("descending endpoints: %d, %d", desc[0], desc[p-1])
+	}
+
+	last := Generate(LastDelayed, p, s, 0).DelaysNs
+	for i := 0; i < p-1; i++ {
+		if last[i] != 0 {
+			t.Errorf("last_delayed rank %d has delay %d", i, last[i])
+		}
+	}
+	if last[p-1] != s {
+		t.Errorf("last_delayed rank p-1 = %d", last[p-1])
+	}
+
+	first := Generate(FirstDelayed, p, s, 0).DelaysNs
+	if first[0] != s {
+		t.Errorf("first_delayed rank 0 = %d", first[0])
+	}
+
+	v := Generate(VShape, p, s, 0).DelaysNs
+	if v[0] != s || v[p-1] != s {
+		t.Errorf("v_shape edges: %d, %d", v[0], v[p-1])
+	}
+	mid := v[p/2]
+	if mid > s/8 {
+		t.Errorf("v_shape middle not near zero: %d", mid)
+	}
+
+	iv := Generate(InverseV, p, s, 0).DelaysNs
+	if iv[0] != 0 || iv[p-1] != 0 {
+		t.Errorf("inverse_v edges: %d, %d", iv[0], iv[p-1])
+	}
+
+	half := Generate(HalfDelayed, p, s, 0).DelaysNs
+	if half[0] != 0 || half[p-1] != s || half[p/2] != s || half[p/2-1] != 0 {
+		t.Error("half_delayed step misplaced")
+	}
+
+	nd := Generate(NoDelay, p, s, 0)
+	if nd.MaxSkewNs() != 0 {
+		t.Error("no_delay has nonzero skew")
+	}
+}
+
+func TestRandomSeeded(t *testing.T) {
+	a := Generate(Random, 64, 1e6, 42)
+	b := Generate(Random, 64, 1e6, 42)
+	c := Generate(Random, 64, 1e6, 43)
+	same, diff := true, false
+	for i := range a.DelaysNs {
+		if a.DelaysNs[i] != b.DelaysNs[i] {
+			same = false
+		}
+		if a.DelaysNs[i] != c.DelaysNs[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different random patterns")
+	}
+	if !diff {
+		t.Error("different seeds produced identical random patterns")
+	}
+}
+
+func TestMaxSkewAndScale(t *testing.T) {
+	pat := Generate(Ascending, 16, 500_000, 0)
+	if pat.MaxSkewNs() != 500_000 {
+		t.Fatalf("max skew %d", pat.MaxSkewNs())
+	}
+	scaled := pat.Scaled(1_000_000)
+	if scaled.MaxSkewNs() != 1_000_000 {
+		t.Fatalf("scaled max %d", scaled.MaxSkewNs())
+	}
+	// Shape preserved: ratios equal.
+	for i := range pat.DelaysNs {
+		if got, want := scaled.DelaysNs[i], 2*pat.DelaysNs[i]; got != want {
+			t.Fatalf("scaled[%d] = %d, want %d", i, got, want)
+		}
+	}
+	zero := Generate(NoDelay, 16, 0, 0).Scaled(999)
+	if zero.MaxSkewNs() != 0 {
+		t.Error("scaling a zero pattern invented skew")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	pat := FromDelays("x", []int64{0, 500, 1000})
+	n := pat.Normalized()
+	if n[0] != 0 || n[1] != 0.5 || n[2] != 1 {
+		t.Fatalf("normalized %v", n)
+	}
+	if z := FromDelays("z", []int64{0, 0}).Normalized(); z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero pattern normalization")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "asc.pattern")
+	pat := Generate(Ascending, 32, 123_456, 0)
+	if err := pat.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 32 {
+		t.Fatalf("size %d", got.Size())
+	}
+	for i := range pat.DelaysNs {
+		if got.DelaysNs[i] != pat.DelaysNs[i] {
+			t.Fatalf("delay %d mismatch: %d vs %d", i, got.DelaysNs[i], pat.DelaysNs[i])
+		}
+	}
+}
+
+func TestReadFileRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.pattern")
+	if err := writeRaw(bad, "# header\n12\nnot-a-number\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+	neg := filepath.Join(dir, "neg.pattern")
+	if err := writeRaw(neg, "5\n-3\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(neg); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if pat := Generate(Ascending, 0, 100, 0); pat.Size() != 0 {
+		t.Error("p=0 should produce an empty pattern")
+	}
+	one := Generate(Descending, 1, 100, 0)
+	if one.Size() != 1 {
+		t.Fatal("p=1 size")
+	}
+}
+
+func TestDelaysBoundedProperty(t *testing.T) {
+	f := func(shRaw uint8, pRaw uint8, skew uint32, seed int64) bool {
+		shapes := AllShapes()
+		sh := shapes[int(shRaw)%len(shapes)]
+		p := int(pRaw%100) + 1
+		s := int64(skew)
+		pat := Generate(sh, p, s, seed)
+		if pat.Size() != p {
+			return false
+		}
+		for _, d := range pat.DelaysNs {
+			if d < 0 || d > s {
+				return false
+			}
+		}
+		return pat.MaxSkewNs() <= s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledIdempotentProperty(t *testing.T) {
+	f := func(pRaw uint8, skew uint32, seed int64) bool {
+		p := int(pRaw%50) + 2
+		pat := Generate(Random, p, int64(skew)+1, seed)
+		s := pat.Scaled(1_000_000)
+		return s.Scaled(1_000_000).MaxSkewNs() == s.MaxSkewNs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with an actor-style process model, in the spirit of SimGrid.
+//
+// Each simulated process runs as its own goroutine, but the kernel enforces
+// strict lock-step execution: at any instant exactly one goroutine — either
+// the kernel scheduler or a single process — is running. Processes block on
+// kernel primitives (Sleep, WaitUntil, condition waits) and are resumed by
+// events popped from a global event queue ordered by virtual time.
+//
+// Virtual time is int64 nanoseconds. Ties between events at the same
+// timestamp are broken by insertion order, which makes every simulation run
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time = int64
+
+// Event is a scheduled callback. Callbacks run in kernel context and must
+// not block; they typically deliver messages and mark processes runnable.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process (actor). All Proc methods that can block must
+// be called from the process's own goroutine, i.e. from within the function
+// passed to Spawn.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	state  procState
+	resume chan struct{}
+	// blockReason is set while the process is blocked, for deadlock reports.
+	blockReason string
+}
+
+// ID returns the process identifier assigned at Spawn time (dense, 0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Kernel is the simulation scheduler.
+type Kernel struct {
+	now    Time
+	events eventQueue
+	seq    int64
+
+	procs    []*Proc
+	runnable []*Proc // FIFO ready list
+	alive    int     // procs not yet done
+
+	// yield is signalled by the running process when it blocks or finishes.
+	yield chan struct{}
+	// cur is the process currently executing (nil in kernel context).
+	cur *Proc
+
+	running bool
+	failure error
+}
+
+// NewKernel creates an empty simulation.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time. Valid from both kernel callbacks and
+// process goroutines (which only run while the kernel is paused).
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at absolute virtual time t.
+// Scheduling in the past is clamped to the current time.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Spawn creates a new process that will start executing fn at the current
+// virtual time (or at simulation start). It returns the process handle.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		state:  stateNew,
+		resume: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.alive++
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.state = stateDone
+		k.alive--
+		k.yield <- struct{}{}
+	}()
+	// Make it runnable immediately.
+	p.state = stateRunnable
+	k.runnable = append(k.runnable, p)
+	return p
+}
+
+// Ready marks a blocked process runnable. It must be called from kernel
+// context (an event callback) or from the running process.
+func (k *Kernel) Ready(p *Proc) {
+	if p.state == stateBlocked {
+		p.state = stateRunnable
+		k.runnable = append(k.runnable, p)
+	}
+}
+
+// block suspends the calling process until Ready is called on it.
+// reason is reported in deadlock diagnostics.
+func (p *Proc) block(reason string) {
+	p.state = stateBlocked
+	p.blockReason = reason
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.blockReason = ""
+}
+
+// Sleep suspends the calling process for d nanoseconds of virtual time.
+// Negative durations sleep zero time (but still yield).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.After(d, func() { k.Ready(p) })
+	p.block(fmt.Sprintf("sleep(%d)", d))
+}
+
+// WaitUntil suspends the calling process until virtual time t. If t is in
+// the past it returns immediately without yielding.
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	k := p.k
+	k.At(t, func() { k.Ready(p) })
+	p.block(fmt.Sprintf("waitUntil(%d)", t))
+}
+
+// Yield gives up the processor until the kernel has drained all events at
+// the current timestamp that were scheduled before this call.
+func (p *Proc) Yield() {
+	k := p.k
+	k.After(0, func() { k.Ready(p) })
+	p.block("yield")
+}
+
+// Cond is a single-waiter condition slot used for blocking waits on state
+// changes (e.g. message arrival, request completion).
+type Cond struct {
+	waiter *Proc
+}
+
+// Wait blocks the calling process until Signal is called.
+// A Cond supports at most one waiter at a time.
+func (c *Cond) Wait(p *Proc, reason string) {
+	if c.waiter != nil {
+		panic("sim: Cond already has a waiter")
+	}
+	c.waiter = p
+	p.block(reason)
+}
+
+// Signal wakes the waiter, if any. Must be called in kernel context or from
+// the running process.
+func (c *Cond) Signal(k *Kernel) {
+	if c.waiter != nil {
+		w := c.waiter
+		c.waiter = nil
+		k.Ready(w)
+	}
+}
+
+// HasWaiter reports whether a process is currently blocked on the Cond.
+func (c *Cond) HasWaiter() bool { return c.waiter != nil }
+
+// Current returns the process currently executing (nil from kernel
+// context). Blocking helpers use it so that any process — e.g. a progress
+// actor driving a non-blocking collective — can wait on shared state.
+func (k *Kernel) Current() *Proc { return k.cur }
+
+// dispatch runs process p until it blocks or finishes.
+func (k *Kernel) dispatch(p *Proc) {
+	p.state = stateRunning
+	k.cur = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.cur = nil
+}
+
+// Run executes the simulation until the event queue is empty and no process
+// is runnable. It returns an error if processes remain blocked afterwards
+// (deadlock) or if the simulation was aborted via Fail.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for {
+		// Drain the ready list first: processes scheduled at the current
+		// instant run before time advances.
+		for len(k.runnable) > 0 {
+			p := k.runnable[0]
+			k.runnable = k.runnable[1:]
+			if p.state != stateRunnable {
+				continue
+			}
+			k.dispatch(p)
+			if k.failure != nil {
+				return k.failure
+			}
+		}
+		if len(k.events) == 0 {
+			break
+		}
+		e := heap.Pop(&k.events).(*event)
+		if e.at > k.now {
+			k.now = e.at
+		}
+		e.fn()
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+
+	if k.alive > 0 {
+		return k.deadlockError()
+	}
+	return nil
+}
+
+// Fail aborts the simulation with err at the next scheduling point.
+func (k *Kernel) Fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+}
+
+func (k *Kernel) deadlockError() error {
+	var stuck []string
+	for _, p := range k.procs {
+		if p.state == stateBlocked {
+			stuck = append(stuck, fmt.Sprintf("%s[%d]: %s", p.name, p.id, p.blockReason))
+		}
+	}
+	sort.Strings(stuck)
+	limit := stuck
+	if len(limit) > 8 {
+		limit = limit[:8]
+	}
+	return fmt.Errorf("sim: deadlock at t=%d ns, %d process(es) blocked: %v", k.now, len(stuck), limit)
+}

@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyKernelRuns(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("empty kernel: %v", err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("time advanced with no events: %d", k.Now())
+	}
+}
+
+func TestSingleProcSleep(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(1500)
+		at = k.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1500 {
+		t.Fatalf("woke at %d, want 1500", at)
+	}
+}
+
+func TestSleepNegativeClampsToZero(t *testing.T) {
+	k := NewKernel()
+	var at Time = -1
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(-5)
+		at = k.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Fatalf("woke at %d, want 0", at)
+	}
+}
+
+func TestWaitUntilPastReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	order := []string{}
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(100)
+		p.WaitUntil(50) // already past
+		order = append(order, fmt.Sprintf("t=%d", k.Now()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != "t=100" {
+		t.Fatalf("got %v", order)
+	}
+}
+
+func TestEventOrderingStable(t *testing.T) {
+	// Events at the same timestamp run in insertion order.
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(42, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d ran out of order: got %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	times := []Time{500, 10, 300, 10, 999, 1}
+	var got []Time
+	for _, tm := range times {
+		tm := tm
+		k.At(tm, func() { got = append(got, tm) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{1, 10, 10, 300, 500, 999}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			trace = append(trace, fmt.Sprintf("a@%d", k.Now()))
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(5)
+		trace = append(trace, fmt.Sprintf("b@%d", k.Now()))
+		p.Sleep(10)
+		trace = append(trace, fmt.Sprintf("b@%d", k.Now()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b@5", "a@10", "b@15", "a@20", "a@30"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	k := NewKernel()
+	var c Cond
+	var woke Time
+	k.Spawn("waiter", func(p *Proc) {
+		c.Wait(p, "test-wait")
+		woke = k.Now()
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(777)
+		c.Signal(k)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 777 {
+		t.Fatalf("waiter woke at %d, want 777", woke)
+	}
+}
+
+func TestCondDoubleWaiterPanics(t *testing.T) {
+	k := NewKernel()
+	var c Cond
+	c.waiter = &Proc{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second waiter")
+		}
+	}()
+	p := &Proc{k: k}
+	c.Wait(p, "x")
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	var c Cond
+	k.Spawn("stuck", func(p *Proc) {
+		c.Wait(p, "never-signaled")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if want := "never-signaled"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestFailAbortsRun(t *testing.T) {
+	k := NewKernel()
+	sentinel := errors.New("boom")
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(10)
+		k.Fail(sentinel)
+		p.Sleep(10) // never completes; Run returns first
+	})
+	err := k.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestReadyOnRunningProcIsNoop(t *testing.T) {
+	k := NewKernel()
+	done := false
+	k.Spawn("p", func(p *Proc) {
+		k.Ready(p) // runnable/running: must not corrupt state
+		p.Sleep(1)
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("proc did not finish")
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() []int {
+		k := NewKernel()
+		var order []int
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 64; i++ {
+			i := i
+			d := Time(rng.Intn(100))
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				order = append(order, i)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic order at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel()
+	var childAt Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(100)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(50)
+			childAt = k.Now()
+		})
+		p.Sleep(1000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 150 {
+		t.Fatalf("child finished at %d, want 150", childAt)
+	}
+}
+
+func TestYieldDrainsSameInstant(t *testing.T) {
+	k := NewKernel()
+	var sawFlag bool
+	flag := false
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(10)
+		flag = true
+	})
+	k.Spawn("checker", func(p *Proc) {
+		p.Sleep(10)
+		p.Yield()
+		sawFlag = flag
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawFlag {
+		t.Fatal("yield did not let same-instant peer run")
+	}
+}
+
+func TestRunTwiceSequentially(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) { p.Sleep(5) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Running again with nothing scheduled is a no-op success.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNowMonotonicProperty(t *testing.T) {
+	// Property: regardless of event insertion pattern, observed times during
+	// execution are non-decreasing.
+	f := func(delays []uint16) bool {
+		if len(delays) > 200 {
+			delays = delays[:200]
+		}
+		k := NewKernel()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			d := Time(d)
+			k.At(d, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepAccumulatesProperty(t *testing.T) {
+	// Property: a proc doing k sleeps of d ends at k*d.
+	f := func(n uint8, d uint16) bool {
+		steps := int(n%20) + 1
+		dur := Time(d)
+		k := NewKernel()
+		var end Time
+		k.Spawn("p", func(p *Proc) {
+			for i := 0; i < steps; i++ {
+				p.Sleep(dur)
+			}
+			end = k.Now()
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return end == Time(steps)*dur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyChurn(t *testing.T) {
+	// Stress: many procs ping-ponging through conds.
+	const n = 100
+	k := NewKernel()
+	conds := make([]Cond, n)
+	var completed atomic.Int32
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			if i > 0 {
+				conds[i].Wait(p, "chain")
+			}
+			p.Sleep(Time(i))
+			if i+1 < n {
+				conds[i+1].Signal(k)
+			}
+			completed.Add(1)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed.Load() != n {
+		t.Fatalf("completed %d of %d", completed.Load(), n)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

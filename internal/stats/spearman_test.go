@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksBasic(t *testing.T) {
+	r := Ranks([]float64{30, 10, 20})
+	if r[0] != 3 || r[1] != 1 || r[2] != 2 {
+		t.Fatalf("%v", r)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{5, 5, 1, 9})
+	// 1 -> rank 1; the two 5s share ranks 2 and 3 -> 2.5; 9 -> 4.
+	if r[2] != 1 || r[0] != 2.5 || r[1] != 2.5 || r[3] != 4 {
+		t.Fatalf("%v", r)
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if s := Spearman(a, b); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("monotone: %g", s)
+	}
+	c := []float64{50, 40, 30, 20, 10}
+	if s := Spearman(a, c); math.Abs(s+1) > 1e-12 {
+		t.Fatalf("reversed: %g", s)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Error("undersized")
+	}
+	if Spearman([]float64{1, 2}, []float64{3}) != 0 {
+		t.Error("length mismatch")
+	}
+	if Spearman([]float64{7, 7, 7}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant input")
+	}
+}
+
+func TestSpearmanInvariantToMonotoneTransformProperty(t *testing.T) {
+	f := func(raw [6]int16) bool {
+		a := make([]float64, 6)
+		b := make([]float64, 6)
+		seen := map[int16]bool{}
+		for i, v := range raw {
+			if seen[v] {
+				return true // skip ties for the strict-invariance property
+			}
+			seen[v] = true
+			a[i] = float64(v)
+			b[i] = float64(v)*3 + 7 // strictly monotone transform
+		}
+		return math.Abs(Spearman(a, b)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanSymmetricProperty(t *testing.T) {
+	f := func(a, b [5]int8) bool {
+		x := make([]float64, 5)
+		y := make([]float64, 5)
+		for i := range x {
+			x[i], y[i] = float64(a[i]), float64(b[i])
+		}
+		return math.Abs(Spearman(x, y)-Spearman(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

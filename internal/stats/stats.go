@@ -1,0 +1,146 @@
+// Package stats provides the small set of summary statistics the
+// benchmarking harnesses report.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                int
+	Mean, Median     float64
+	Min, Max, StdDev float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Median(xs)
+	return s
+}
+
+// Median returns the sample median (average of middle two for even N).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinIdx returns the index of the smallest element (-1 for empty).
+func MinIdx(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Ranks returns the 1-based fractional ranks of xs (ties get the average
+// of their positions), the building block of rank correlations.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Spearman computes the Spearman rank correlation between two samples of
+// equal length (1 = identical ordering, -1 = reversed). Undersized or
+// constant inputs yield 0.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := Ranks(a), Ranks(b)
+	ma, mb := Mean(ra), Mean(rb)
+	var num, da, db float64
+	for i := range ra {
+		x, y := ra[i]-ma, rb[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// Normalize divides every element by the minimum and returns the result;
+// the fastest entry becomes 1.0. A zero or empty minimum yields a copy.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	i := MinIdx(xs)
+	if i < 0 || xs[i] <= 0 {
+		copy(out, xs)
+		return out
+	}
+	for j, x := range xs {
+		out[j] = x / xs[i]
+	}
+	return out
+}

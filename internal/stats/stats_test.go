@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("stddev %g", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMinIdx(t *testing.T) {
+	if MinIdx([]float64{5, 2, 8, 2}) != 1 {
+		t.Fatal("first minimum not returned")
+	}
+	if MinIdx(nil) != -1 {
+		t.Fatal("empty")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize([]float64{4, 2, 8})
+	if n[0] != 2 || n[1] != 1 || n[2] != 4 {
+		t.Fatalf("%v", n)
+	}
+	z := Normalize([]float64{0, 5})
+	if z[0] != 0 || z[1] != 5 {
+		t.Fatal("zero-min input should be copied unchanged")
+	}
+}
+
+func TestMeanMatchesSummarizeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		m := Mean(xs)
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return m == 0 && s.N == 0
+		}
+		return math.Abs(m-s.Mean) <= 1e-9*(1+math.Abs(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeMinIsOneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Abs(x)+1)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		n := Normalize(clean)
+		min := math.Inf(1)
+		for _, v := range n {
+			if v < min {
+				min = v
+			}
+		}
+		return math.Abs(min-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

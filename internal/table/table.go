@@ -1,0 +1,102 @@
+// Package table renders the experiment results as aligned ASCII tables and
+// annotated heatmaps, the textual equivalent of the paper's figures.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with column alignment and a separator line.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Ns formats a duration given in nanoseconds with an adaptive unit.
+func Ns(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3f s", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2f us", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}
+
+// Bytes formats a message size the way the paper labels its axes.
+func Bytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%d KiB", n>>10)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Mark wraps a cell value with the paper's color-coding conventions,
+// rendered as ASCII: '*' for highlighted (blue/green) cells, '!' for
+// flagged (red) cells, plain otherwise.
+func Mark(s string, highlight, flag bool) string {
+	switch {
+	case highlight:
+		return "*" + s + "*"
+	case flag:
+		return "!" + s + "!"
+	default:
+		return " " + s + " "
+	}
+}

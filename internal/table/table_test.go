@@ -1,0 +1,84 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("long-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// All rows align: the "value" column starts at the same offset.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("row 1 misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Errorf("row 2 misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := New("a", "b", "c")
+	tb.AddRow("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestNs(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5 ns"},
+		{1500, "1.50 us"},
+		{2_500_000, "2.500 ms"},
+		{3_200_000_000, "3.200 s"},
+	}
+	for _, c := range cases {
+		if got := Ns(c.in); got != c.want {
+			t.Errorf("Ns(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{2, "2 B"},
+		{1024, "1 KiB"},
+		{32768, "32 KiB"},
+		{1048576, "1 MiB"},
+		{1000, "1000 B"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMark(t *testing.T) {
+	if Mark("x", true, false) != "*x*" {
+		t.Error("highlight mark")
+	}
+	if Mark("x", false, true) != "!x!" {
+		t.Error("flag mark")
+	}
+	if Mark("x", false, false) != " x " {
+		t.Error("plain mark")
+	}
+	// Highlight wins over flag.
+	if Mark("x", true, true) != "*x*" {
+		t.Error("precedence")
+	}
+}

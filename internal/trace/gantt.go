@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gantt renders one traced collective call as an ASCII timeline in the
+// style of the paper's Fig. 2: one row per rank, '.' before arrival, '#'
+// between arrival and exit. maxRanks caps the number of rows (0 = all,
+// sampled evenly when the call has more ranks).
+func Gantt(c *Call, width, maxRanks int) string {
+	if width < 20 {
+		width = 60
+	}
+	n := len(c.ArriveNs)
+	if n == 0 {
+		return "(empty call)\n"
+	}
+	minA, maxE := math.Inf(1), math.Inf(-1)
+	for r := 0; r < n; r++ {
+		if !math.IsNaN(c.ArriveNs[r]) && c.ArriveNs[r] < minA {
+			minA = c.ArriveNs[r]
+		}
+		if !math.IsNaN(c.ExitNs[r]) && c.ExitNs[r] > maxE {
+			maxE = c.ExitNs[r]
+		}
+	}
+	if math.IsInf(minA, 1) || maxE <= minA {
+		return "(call has no sampled ranks)\n"
+	}
+	span := maxE - minA
+	toCol := func(t float64) int {
+		col := int((t - minA) / span * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+
+	rows := make([]int, 0, n)
+	if maxRanks <= 0 || maxRanks >= n {
+		for r := 0; r < n; r++ {
+			rows = append(rows, r)
+		}
+	} else {
+		step := float64(n) / float64(maxRanks)
+		for i := 0; i < maxRanks; i++ {
+			rows = append(rows, int(float64(i)*step))
+		}
+	}
+	sort.Ints(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v call #%d: %d ranks, window %.1f us ('.'=waiting to arrive, '#'=inside)\n",
+		c.Coll, c.Seq, n, span/1000)
+	for _, r := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		if !math.IsNaN(c.ArriveNs[r]) && !math.IsNaN(c.ExitNs[r]) {
+			a, e := toCol(c.ArriveNs[r]), toCol(c.ExitNs[r])
+			for i := 0; i < a; i++ {
+				line[i] = '.'
+			}
+			for i := a; i <= e; i++ {
+				line[i] = '#'
+			}
+		} else {
+			copy(line, []byte("(not sampled)"))
+		}
+		fmt.Fprintf(&b, "rank %4d |%s|\n", r, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"collsel/internal/coll"
+)
+
+func TestGanttRendersRows(t *testing.T) {
+	tr := New(8)
+	runTraced(t, tr, 8, 1, func(rank, call int) int64 { return int64(rank) * 50_000 })
+	c := tr.Calls(coll.Allreduce)[0]
+	out := Gantt(c, 60, 0)
+	if !strings.Contains(out, "rank    0") || !strings.Contains(out, "rank    7") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // header + 8 ranks
+		t.Fatalf("expected 9 lines, got %d", len(lines))
+	}
+	// Rank 0 arrives first: its row starts with '#'; rank 7 arrives last:
+	// its row starts with dots.
+	if !strings.Contains(lines[1], "|#") {
+		t.Errorf("rank 0 row should start inside the collective:\n%s", lines[1])
+	}
+	if !strings.Contains(lines[8], "|...") {
+		t.Errorf("rank 7 row should start waiting:\n%s", lines[8])
+	}
+}
+
+func TestGanttSamplesRows(t *testing.T) {
+	tr := New(32)
+	runTraced(t, tr, 32, 1, func(rank, call int) int64 { return 0 })
+	c := tr.Calls(coll.Allreduce)[0]
+	out := Gantt(c, 40, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines with maxRanks=4, got %d", len(lines))
+	}
+}
+
+func TestGanttDegenerate(t *testing.T) {
+	if out := Gantt(&Call{}, 40, 0); !strings.Contains(out, "empty") {
+		t.Error("empty call not reported")
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace implements the paper's MPI tracing library (Sec. V-A): a
+// PMPI-style interposition layer that records, for every collective call,
+// each process's arrival and exit time on the synchronized global clock.
+// It supports call sampling (record every k-th call) and process sampling
+// (record a subset of ranks), and extracts application arrival patterns —
+// the per-process average delay across all calls, which the paper names the
+// "FT-Scenario" when derived from NAS FT.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"collsel/internal/coll"
+	"collsel/internal/pattern"
+)
+
+// Call is the record of one traced collective invocation.
+type Call struct {
+	// Seq is the call sequence number (per collective call site order).
+	Seq int
+	// Coll is the collective operation.
+	Coll coll.Collective
+	// ArriveNs[r] / ExitNs[r] are rank r's synchronized-clock timestamps;
+	// NaN for ranks excluded by the process filter.
+	ArriveNs, ExitNs []float64
+	// Bytes is the per-destination wire size of the call.
+	Bytes int
+}
+
+// Skews returns each sampled rank's delay relative to the first arrival
+// (NaN for unsampled ranks).
+func (c Call) Skews() []float64 {
+	min := math.Inf(1)
+	for _, a := range c.ArriveNs {
+		if !math.IsNaN(a) && a < min {
+			min = a
+		}
+	}
+	out := make([]float64, len(c.ArriveNs))
+	for i, a := range c.ArriveNs {
+		if math.IsNaN(a) {
+			out[i] = math.NaN()
+		} else {
+			out[i] = a - min
+		}
+	}
+	return out
+}
+
+// Tracer records collective calls for one application run. It must be
+// created before the run and shared by all ranks (the simulator equivalent
+// of the PMPI library being linked into every process).
+type Tracer struct {
+	procs int
+	// SampleEvery records only every k-th call per collective (1 = all).
+	SampleEvery int
+	// RankFilter restricts recording to ranks where it returns true
+	// (nil = trace every rank).
+	RankFilter func(rank int) bool
+
+	calls   map[coll.Collective][]*Call
+	counter []map[coll.Collective]int // per rank per collective call count
+}
+
+// New creates a tracer for procs ranks.
+func New(procs int) *Tracer {
+	t := &Tracer{
+		procs:       procs,
+		SampleEvery: 1,
+		calls:       make(map[coll.Collective][]*Call),
+		counter:     make([]map[coll.Collective]int, procs),
+	}
+	for i := range t.counter {
+		t.counter[i] = make(map[coll.Collective]int)
+	}
+	return t
+}
+
+// Wrap interposes the tracer on an algorithm, like a PMPI wrapper around
+// MPI_Alltoall: the returned algorithm records arrival and exit times on
+// the calling rank's synchronized clock around the real call.
+func (t *Tracer) Wrap(al coll.Algorithm) coll.Algorithm {
+	wrapped := al
+	inner := al.Run
+	wrapped.Run = func(a *coll.Args) ([]float64, error) {
+		rank := a.R.ID()
+		seq := t.counter[rank][al.Coll]
+		t.counter[rank][al.Coll]++
+		sampled := t.SampleEvery <= 1 || seq%t.SampleEvery == 0
+		rankOK := t.RankFilter == nil || t.RankFilter(rank)
+		if !sampled {
+			return inner(a)
+		}
+		c := t.callRecord(al.Coll, seq, a)
+		if rankOK {
+			c.ArriveNs[rank] = a.R.SyncedNowNs()
+		}
+		out, err := inner(a)
+		if rankOK {
+			c.ExitNs[rank] = a.R.SyncedNowNs()
+		}
+		return out, err
+	}
+	return wrapped
+}
+
+// callRecord finds or creates the shared record for (collective, seq).
+func (t *Tracer) callRecord(c coll.Collective, seq int, a *coll.Args) *Call {
+	list := t.calls[c]
+	idx := seq
+	if t.SampleEvery > 1 {
+		idx = seq / t.SampleEvery
+	}
+	for len(list) <= idx {
+		nan := func() []float64 {
+			v := make([]float64, t.procs)
+			for i := range v {
+				v[i] = math.NaN()
+			}
+			return v
+		}
+		list = append(list, &Call{
+			Seq:      len(list) * maxIntt(1, t.SampleEvery),
+			Coll:     c,
+			ArriveNs: nan(),
+			ExitNs:   nan(),
+			Bytes:    a.Bytes(a.Count),
+		})
+	}
+	t.calls[c] = list
+	return list[idx]
+}
+
+func maxIntt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Calls returns the recorded calls for a collective, in sequence order.
+func (t *Tracer) Calls(c coll.Collective) []*Call {
+	return t.calls[c]
+}
+
+// NumCalls returns how many calls were recorded for a collective.
+func (t *Tracer) NumCalls(c coll.Collective) int { return len(t.calls[c]) }
+
+// AvgDelays computes, for each rank, the average delay relative to the
+// first-arriving process over all recorded calls of c — the quantity
+// plotted in Fig. 1. Unsampled ranks yield 0.
+func (t *Tracer) AvgDelays(c coll.Collective) ([]float64, error) {
+	calls := t.calls[c]
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("trace: no recorded %v calls", c)
+	}
+	sum := make([]float64, t.procs)
+	n := make([]int, t.procs)
+	for _, call := range calls {
+		for r, s := range call.Skews() {
+			if !math.IsNaN(s) {
+				sum[r] += s
+				n[r]++
+			}
+		}
+	}
+	out := make([]float64, t.procs)
+	for r := range out {
+		if n[r] > 0 {
+			out[r] = sum[r] / float64(n[r])
+		}
+	}
+	return out, nil
+}
+
+// MaxSkewNs returns the largest per-call arrival skew observed for c — the
+// magnitude the paper feeds into the artificial pattern generator for the
+// Fig. 8 experiments.
+func (t *Tracer) MaxSkewNs(c coll.Collective) int64 {
+	var m float64
+	for _, call := range t.calls[c] {
+		for _, s := range call.Skews() {
+			if !math.IsNaN(s) && s > m {
+				m = s
+			}
+		}
+	}
+	return int64(m)
+}
+
+// Scenario converts the averaged delays into an arrival pattern (e.g. the
+// FT-Scenario) usable by the micro-benchmark harness.
+func (t *Tracer) Scenario(name string, c coll.Collective) (pattern.Pattern, error) {
+	avg, err := t.AvgDelays(c)
+	if err != nil {
+		return pattern.Pattern{}, err
+	}
+	d := make([]int64, len(avg))
+	for i, v := range avg {
+		d[i] = int64(v)
+	}
+	return pattern.FromDelays(name, d), nil
+}

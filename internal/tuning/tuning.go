@@ -1,0 +1,150 @@
+// Package tuning persists algorithm selections as a tuning table, the
+// library-facing artifact of the paper's methodology: once the robust
+// algorithm per (machine, collective, message-size range, communicator
+// size) is known, an MPI library consults a table like this instead of its
+// fixed decision rules. The format mirrors the role of Open MPI's dynamic
+// rules file, expressed as JSON for tooling friendliness.
+package tuning
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"collsel/internal/coll"
+)
+
+// Rule selects an algorithm for one (collective, size range) slot.
+type Rule struct {
+	// Collective is the lowercase collective name.
+	Collective string `json:"collective"`
+	// MinBytes..MaxBytes is the inclusive message-size range the rule
+	// covers; MaxBytes 0 means unbounded above.
+	MinBytes int `json:"min_bytes"`
+	MaxBytes int `json:"max_bytes,omitempty"`
+	// Algorithm is the canonical algorithm name.
+	Algorithm string `json:"algorithm"`
+	// Score is the robustness score the selection was based on (optional,
+	// informational).
+	Score float64 `json:"score,omitempty"`
+}
+
+// Table is a per-machine set of rules.
+type Table struct {
+	// Machine names the platform the table was tuned on.
+	Machine string `json:"machine"`
+	// Procs is the communicator size the measurements used.
+	Procs int `json:"procs"`
+	// Rules are matched most-specific (narrowest range) first.
+	Rules []Rule `json:"rules"`
+}
+
+// Add inserts or replaces the rule for (collective, minBytes, maxBytes).
+func (t *Table) Add(r Rule) error {
+	if _, ok := coll.CollectiveByName(r.Collective); !ok {
+		return fmt.Errorf("tuning: unknown collective %q", r.Collective)
+	}
+	c, _ := coll.CollectiveByName(r.Collective)
+	if _, ok := coll.ByName(c, r.Algorithm); !ok {
+		return fmt.Errorf("tuning: unknown %s algorithm %q", r.Collective, r.Algorithm)
+	}
+	if r.MinBytes < 0 || (r.MaxBytes != 0 && r.MaxBytes < r.MinBytes) {
+		return fmt.Errorf("tuning: invalid size range [%d, %d]", r.MinBytes, r.MaxBytes)
+	}
+	for i, old := range t.Rules {
+		if old.Collective == r.Collective && old.MinBytes == r.MinBytes && old.MaxBytes == r.MaxBytes {
+			t.Rules[i] = r
+			return nil
+		}
+	}
+	t.Rules = append(t.Rules, r)
+	t.sort()
+	return nil
+}
+
+func (t *Table) sort() {
+	sort.SliceStable(t.Rules, func(i, j int) bool {
+		a, b := t.Rules[i], t.Rules[j]
+		if a.Collective != b.Collective {
+			return a.Collective < b.Collective
+		}
+		if a.MinBytes != b.MinBytes {
+			return a.MinBytes < b.MinBytes
+		}
+		return width(a) < width(b)
+	})
+}
+
+func width(r Rule) int {
+	if r.MaxBytes == 0 {
+		return 1 << 62
+	}
+	return r.MaxBytes - r.MinBytes
+}
+
+// Lookup returns the algorithm for a collective and message size, matching
+// the narrowest covering rule. ok is false when no rule covers the query.
+func (t *Table) Lookup(c coll.Collective, msgBytes int) (coll.Algorithm, bool) {
+	bestW := 1<<62 + 1
+	var best *Rule
+	for i := range t.Rules {
+		r := &t.Rules[i]
+		if r.Collective != c.String() {
+			continue
+		}
+		if msgBytes < r.MinBytes || (r.MaxBytes != 0 && msgBytes > r.MaxBytes) {
+			continue
+		}
+		if w := width(*r); w < bestW {
+			bestW = w
+			best = r
+		}
+	}
+	if best == nil {
+		return coll.Algorithm{}, false
+	}
+	al, ok := coll.ByName(c, best.Algorithm)
+	return al, ok
+}
+
+// Validate checks every rule resolves against the registry.
+func (t *Table) Validate() error {
+	for _, r := range t.Rules {
+		c, ok := coll.CollectiveByName(r.Collective)
+		if !ok {
+			return fmt.Errorf("tuning: unknown collective %q", r.Collective)
+		}
+		if _, ok := coll.ByName(c, r.Algorithm); !ok {
+			return fmt.Errorf("tuning: unknown %s algorithm %q", r.Collective, r.Algorithm)
+		}
+	}
+	return nil
+}
+
+// Save writes the table as indented JSON.
+func (t *Table) Save(path string) error {
+	t.sort()
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a table.
+func Load(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("tuning: %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	t.sort()
+	return &t, nil
+}

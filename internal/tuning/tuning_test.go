@@ -1,0 +1,136 @@
+package tuning
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"collsel/internal/coll"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	tb := &Table{Machine: "Hydra", Procs: 256}
+	rules := []Rule{
+		{Collective: "alltoall", MinBytes: 0, MaxBytes: 768, Algorithm: "bruck"},
+		{Collective: "alltoall", MinBytes: 769, MaxBytes: 131072, Algorithm: "basic_linear"},
+		{Collective: "alltoall", MinBytes: 131073, Algorithm: "pairwise"},
+		{Collective: "reduce", MinBytes: 0, Algorithm: "binomial"},
+	}
+	for _, r := range rules {
+		if err := tb.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		c    coll.Collective
+		sz   int
+		want string
+	}{
+		{coll.Alltoall, 8, "bruck"},
+		{coll.Alltoall, 768, "bruck"},
+		{coll.Alltoall, 769, "basic_linear"},
+		{coll.Alltoall, 32768, "basic_linear"},
+		{coll.Alltoall, 1 << 20, "pairwise"},
+		{coll.Reduce, 12345, "binomial"},
+	}
+	for _, c := range cases {
+		al, ok := tb.Lookup(c.c, c.sz)
+		if !ok || al.Name != c.want {
+			t.Errorf("Lookup(%v, %d) = %v/%v, want %s", c.c, c.sz, al.Name, ok, c.want)
+		}
+	}
+	if _, ok := tb.Lookup(coll.Allreduce, 8); ok {
+		t.Error("lookup without rule succeeded")
+	}
+}
+
+func TestNarrowestRuleWins(t *testing.T) {
+	tb := &Table{}
+	if err := tb.Add(Rule{Collective: "reduce", MinBytes: 0, Algorithm: "binomial"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Add(Rule{Collective: "reduce", MinBytes: 1024, MaxBytes: 2048, Algorithm: "binary"}); err != nil {
+		t.Fatal(err)
+	}
+	al, _ := tb.Lookup(coll.Reduce, 1500)
+	if al.Name != "binary" {
+		t.Errorf("narrow rule not preferred: got %s", al.Name)
+	}
+	al, _ = tb.Lookup(coll.Reduce, 8)
+	if al.Name != "binomial" {
+		t.Errorf("fallback broken: got %s", al.Name)
+	}
+}
+
+func TestAddReplacesSameSlot(t *testing.T) {
+	tb := &Table{}
+	_ = tb.Add(Rule{Collective: "reduce", MinBytes: 0, MaxBytes: 64, Algorithm: "binomial"})
+	_ = tb.Add(Rule{Collective: "reduce", MinBytes: 0, MaxBytes: 64, Algorithm: "binary"})
+	if len(tb.Rules) != 1 {
+		t.Fatalf("duplicate slot not replaced: %d rules", len(tb.Rules))
+	}
+	if tb.Rules[0].Algorithm != "binary" {
+		t.Error("replacement lost")
+	}
+}
+
+func TestAddRejectsBadRules(t *testing.T) {
+	tb := &Table{}
+	bad := []Rule{
+		{Collective: "nonsense", Algorithm: "binomial"},
+		{Collective: "reduce", Algorithm: "nonsense"},
+		{Collective: "reduce", Algorithm: "binomial", MinBytes: -1},
+		{Collective: "reduce", Algorithm: "binomial", MinBytes: 100, MaxBytes: 50},
+	}
+	for i, r := range bad {
+		if err := tb.Add(r); err == nil {
+			t.Errorf("rule %d accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hydra.json")
+	tb := &Table{Machine: "Hydra", Procs: 128}
+	_ = tb.Add(Rule{Collective: "alltoall", MinBytes: 0, MaxBytes: 1024, Algorithm: "bruck", Score: 1.1})
+	_ = tb.Add(Rule{Collective: "alltoall", MinBytes: 1025, Algorithm: "pairwise"})
+	if err := tb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != "Hydra" || got.Procs != 128 || len(got.Rules) != 2 {
+		t.Fatalf("%+v", got)
+	}
+	al, ok := got.Lookup(coll.Alltoall, 100)
+	if !ok || al.Name != "bruck" {
+		t.Error("loaded table lookup broken")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := writeFile(path, `{"rules": [{"collective": "zap", "algorithm": "x"}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("invalid table loaded")
+	}
+	if err := writeFile(path, `not json`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("non-JSON loaded")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

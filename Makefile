@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check tools clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table/figure benchmark once (laptop scale).
+bench:
+	$(GO) test -bench=. -benchtime 1x .
+
+# Tier-1 verification: what every change must keep green.
+check: build vet test race
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

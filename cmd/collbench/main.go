@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"collsel/internal/cliutil"
 	"collsel/internal/coll"
@@ -26,7 +28,12 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated message sizes in bytes (default: 8,1024,1048576)")
 	reps := flag.Int("reps", 5, "benchmark repetitions per cell")
 	seed := flag.Int64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical at any value")
+	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	c, ok := coll.CollectiveByName(*collName)
 	if !ok {
@@ -43,13 +50,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
 		os.Exit(2)
 	}
-	res, err := expt.RunFig5(expt.Fig5Config{
+	res, err := expt.RunFig5Ctx(ctx, expt.Fig5Config{
 		Platform:   pl,
 		Collective: c,
 		Procs:      *procs,
 		MsgSizes:   msgSizes,
 		Reps:       *reps,
 		Seed:       *seed,
+		Runner:     cliutil.Engine(*workers),
+		Progress:   cliutil.ProgressPrinter(os.Stderr, "collbench", *progress),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)

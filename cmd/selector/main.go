@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"collsel/internal/cliutil"
 	"collsel/internal/coll"
@@ -35,7 +37,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	root := flag.Int("root", 0, "root rank for rooted collectives")
 	save := flag.String("save", "", "append the selection to this tuning-table JSON file")
+	workers := flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical at any value")
+	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	c, ok := coll.CollectiveByName(*collName)
 	if !ok {
@@ -55,7 +62,7 @@ func main() {
 	if *skew > 0 {
 		policy = expt.SkewFixed
 	}
-	m, _, err := expt.BuildMatrix(expt.GridConfig{
+	m, _, err := expt.BuildMatrixCtx(ctx, expt.GridConfig{
 		Platform:    pl,
 		Procs:       *procs,
 		Seed:        *seed,
@@ -67,6 +74,8 @@ func main() {
 		Factor:      *factor,
 		FixedSkewNs: *skew,
 		Reps:        *reps,
+		Runner:      cliutil.Engine(*workers),
+		Progress:    cliutil.ProgressPrinter(os.Stderr, "selector", *progress),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "selector: %v\n", err)

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"collsel/internal/cliutil"
 	"collsel/internal/coll"
@@ -25,7 +27,12 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated message sizes in bytes (default: 2,16,256,1024,16384,262144,1048576)")
 	factor := flag.Float64("factor", 1.5, "skew factor on the average no-delay runtime")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical at any value")
+	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	c, ok := coll.CollectiveByName(*collName)
 	if !ok {
@@ -37,12 +44,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
 		os.Exit(2)
 	}
-	res, err := expt.RunFig4(expt.Fig4Config{
+	res, err := expt.RunFig4Ctx(ctx, expt.Fig4Config{
 		Collective: c,
 		Procs:      *procs,
 		MsgSizes:   msgSizes,
 		Factor:     *factor,
 		Seed:       *seed,
+		Runner:     cliutil.Engine(*workers),
+		Progress:   cliutil.ProgressPrinter(os.Stderr, "simstudy", *progress),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)

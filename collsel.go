@@ -25,6 +25,8 @@
 package collsel
 
 import (
+	"context"
+
 	"collsel/internal/apps/dltrain"
 	"collsel/internal/apps/ft"
 	"collsel/internal/coll"
@@ -36,6 +38,7 @@ import (
 	"collsel/internal/netmodel"
 	_ "collsel/internal/papaware" // register the PAP-aware extension algorithms
 	"collsel/internal/pattern"
+	"collsel/internal/runner"
 	"collsel/internal/trace"
 	"collsel/internal/tuning"
 )
@@ -191,8 +194,13 @@ const (
 )
 
 // BuildMatrix measures a full grid and returns the matrix plus the
-// per-algorithm no-delay runtimes.
-var BuildMatrix = expt.BuildMatrix
+// per-algorithm no-delay runtimes. BuildMatrixCtx adds cancellation; both
+// execute cells on the parallel memoizing grid engine, with results
+// bit-identical at any worker count.
+var (
+	BuildMatrix    = expt.BuildMatrix
+	BuildMatrixCtx = expt.BuildMatrixCtx
+)
 
 // --- Tracing and the FT proxy ---------------------------------------------------------
 
@@ -259,10 +267,12 @@ const (
 type StrategyComparison = expt.StrategyComparison
 
 // CompareStrategies builds a grid and evaluates the three strategies;
-// CompareStrategiesOn evaluates them on an existing matrix.
+// CompareStrategiesCtx adds cancellation; CompareStrategiesOn evaluates
+// them on an existing matrix.
 var (
-	CompareStrategies   = expt.CompareStrategies
-	CompareStrategiesOn = expt.CompareStrategiesOn
+	CompareStrategies    = expt.CompareStrategies
+	CompareStrategiesCtx = expt.CompareStrategiesCtx
+	CompareStrategiesOn  = expt.CompareStrategiesOn
 )
 
 // TuningTable persists selections as a dynamic-rules-style file; see
@@ -299,10 +309,47 @@ type SelectConfig struct {
 	// MaxSkewNs fixes the pattern magnitude; 0 derives it from the average
 	// no-delay runtime of the algorithm set (the paper's default).
 	MaxSkewNs int64
+	// Factor scales the derived skew magnitude when MaxSkewNs is 0 (the
+	// paper studies 0.5/1.0/1.5; 0 means 1.0).
+	Factor float64
 	// Reps is the per-cell repetition count (default: 5 on noisy machines).
 	Reps int
+	// Warmup repetitions are run but excluded from the statistics.
+	Warmup int
 	// Seed drives the machine's noise and clocks.
 	Seed int64
+	// Workers bounds the number of concurrent cell simulations; 0 uses
+	// GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
+	// Progress, when non-nil, is called after every measured cell with
+	// (done, total) over the selection's whole grid.
+	Progress func(done, total int)
+}
+
+// Option adjusts a SelectConfig; see SelectCtx.
+type Option func(*SelectConfig)
+
+// WithReps sets the per-cell repetition count.
+func WithReps(n int) Option { return func(c *SelectConfig) { c.Reps = n } }
+
+// WithWarmup sets the per-cell warmup repetition count.
+func WithWarmup(n int) Option { return func(c *SelectConfig) { c.Warmup = n } }
+
+// WithSeed sets the simulation seed.
+func WithSeed(s int64) Option { return func(c *SelectConfig) { c.Seed = s } }
+
+// WithFactor sets the skew factor applied to the derived pattern magnitude
+// (the paper's 0.5/1.0/1.5 study).
+func WithFactor(f float64) Option { return func(c *SelectConfig) { c.Factor = f } }
+
+// WithParallelism bounds the number of concurrent cell simulations; n <= 0
+// means GOMAXPROCS. The result is bit-identical at any parallelism.
+func WithParallelism(n int) Option { return func(c *SelectConfig) { c.Workers = n } }
+
+// WithProgress installs a per-cell progress callback (done, total over the
+// selection's grid).
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *SelectConfig) { c.Progress = fn }
 }
 
 // Selection is the outcome of the pattern-aware selection workflow.
@@ -322,8 +369,27 @@ type Selection struct {
 // Select runs the paper's full selection methodology: benchmark every
 // Table II algorithm of the collective under the no-delay baseline and the
 // eight artificial arrival patterns, rank by average normalized runtime,
-// and return the most robust choice.
+// and return the most robust choice. It is a thin wrapper around SelectCtx
+// with a background context.
 func Select(cfg SelectConfig) (*Selection, error) {
+	return SelectCtx(context.Background(), cfg)
+}
+
+// SelectCtx is the context-aware selection entry point. Functional options
+// override the corresponding SelectConfig fields:
+//
+//	sel, err := collsel.SelectCtx(ctx, cfg,
+//	    collsel.WithReps(5), collsel.WithFactor(1.5),
+//	    collsel.WithParallelism(8), collsel.WithProgress(report))
+//
+// The grid is measured on a worker pool (GOMAXPROCS-wide by default) with
+// per-cell seeds derived from grid coordinates, so the outcome is
+// bit-identical at any parallelism; finished cells are memoized in a
+// process-wide cache, so repeating an identical selection is free.
+func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selection, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	algs := coll.TableII(cfg.Collective)
 	if len(algs) == 0 {
 		algs = coll.Algorithms(cfg.Collective)
@@ -332,7 +398,12 @@ func Select(cfg SelectConfig) (*Selection, error) {
 	if cfg.MaxSkewNs > 0 {
 		policy = expt.SkewFixed
 	}
-	m, _, err := expt.BuildMatrix(expt.GridConfig{
+	var eng *runner.Engine
+	if cfg.Workers > 0 {
+		// A bounded pool that still shares the process-wide cell cache.
+		eng = runner.New(runner.WithWorkers(cfg.Workers), runner.WithCache(runner.DefaultCache()))
+	}
+	m, _, err := expt.BuildMatrixCtx(ctx, expt.GridConfig{
 		Platform:    cfg.Machine,
 		Procs:       cfg.Procs,
 		Seed:        cfg.Seed,
@@ -341,8 +412,12 @@ func Select(cfg SelectConfig) (*Selection, error) {
 		MsgBytes:    cfg.MsgBytes,
 		Root:        cfg.Root,
 		Policy:      policy,
+		Factor:      cfg.Factor,
 		FixedSkewNs: cfg.MaxSkewNs,
 		Reps:        cfg.Reps,
+		Warmup:      cfg.Warmup,
+		Runner:      eng,
+		Progress:    cfg.Progress,
 	})
 	if err != nil {
 		return nil, err

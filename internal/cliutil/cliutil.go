@@ -3,10 +3,12 @@ package cliutil
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
 	"collsel/internal/netmodel"
+	"collsel/internal/runner"
 )
 
 // ParseSizes parses a comma-separated list of positive byte sizes.
@@ -41,6 +43,33 @@ func Machine(name string) (*netmodel.Platform, error) {
 		return nil, fmt.Errorf("unknown machine %q (available: %s)", name, strings.Join(names, ", "))
 	}
 	return pl, nil
+}
+
+// Engine builds a grid-execution engine for a tool's -workers flag:
+// 0 returns nil (the caller falls back to the shared default engine, i.e.
+// GOMAXPROCS workers); a positive value bounds the pool at that size while
+// still sharing the process-wide cell cache.
+func Engine(workers int) *runner.Engine {
+	if workers <= 0 {
+		return nil
+	}
+	return runner.New(runner.WithWorkers(workers), runner.WithCache(runner.DefaultCache()))
+}
+
+// ProgressPrinter returns a (done, total) callback that rewrites one
+// status line on w ("<label>: 12/81 cells"), ending the line when done
+// reaches total. A nil is returned when enabled is false, so the result
+// can be assigned to a config's Progress field directly.
+func ProgressPrinter(w io.Writer, label string, enabled bool) func(done, total int) {
+	if !enabled {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(w, "\r%s: %d/%d cells", label, done, total)
+		if done >= total {
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // Machines resolves a comma-separated machine list; empty means the three

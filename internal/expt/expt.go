@@ -6,6 +6,8 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"collsel/internal/coll"
@@ -13,6 +15,7 @@ import (
 	"collsel/internal/microbench"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
+	"collsel/internal/runner"
 	"collsel/internal/stats"
 )
 
@@ -96,6 +99,14 @@ type GridConfig struct {
 	// PerfectClocks/NoNoise select simulation mode.
 	PerfectClocks bool
 	NoNoise       bool
+	// Runner executes the grid's cells; nil uses runner.Default(), the
+	// process-wide engine with GOMAXPROCS workers and a shared memoization
+	// cache. Results are bit-identical at any worker count.
+	Runner *runner.Engine
+	// Progress, when non-nil, is called after every completed cell with the
+	// number of finished and total cells of the whole grid (both measurement
+	// passes). Calls are serialized.
+	Progress func(done, total int)
 }
 
 func (g *GridConfig) fill() error {
@@ -129,13 +140,30 @@ func (g *GridConfig) fill() error {
 	return nil
 }
 
-// benchOnce runs one micro-benchmark cell.
-func (g *GridConfig) benchOnce(al coll.Algorithm, pat pattern.Pattern, seedShift int64) (microbench.Result, error) {
+// studyProgress aggregates per-grid progress into one (done, total)
+// sequence over a study of nGrids equally sized grids of gridCells cells
+// each. The returned factory yields the i-th grid's callback (nil when cb
+// is nil, so it can be assigned to GridConfig.Progress directly).
+func studyProgress(cb func(done, total int), nGrids, gridCells int) func(i int) func(done, total int) {
+	if cb == nil {
+		return func(int) func(done, total int) { return nil }
+	}
+	total := nGrids * gridCells
+	return func(i int) func(done, total int) {
+		offset := i * gridCells
+		return func(done, _ int) { cb(offset+done, total) }
+	}
+}
+
+// cellConfig builds the micro-benchmark configuration of one grid cell.
+// seed must come from the runner seed-derivation helpers so that it depends
+// only on the cell's grid coordinates, never on execution order.
+func (g *GridConfig) cellConfig(al coll.Algorithm, pat pattern.Pattern, seed int64) microbench.Config {
 	count, elemSize := SizeToCount(g.MsgBytes)
-	return microbench.Run(microbench.Config{
+	return microbench.Config{
 		Platform:      g.Platform,
 		Procs:         g.Procs,
-		Seed:          g.Seed + seedShift,
+		Seed:          seed,
 		Algorithm:     al,
 		Count:         count,
 		ElemSize:      elemSize,
@@ -145,13 +173,21 @@ func (g *GridConfig) benchOnce(al coll.Algorithm, pat pattern.Pattern, seedShift
 		Warmup:        g.Warmup,
 		PerfectClocks: g.PerfectClocks,
 		NoNoise:       g.NoNoise,
-	})
+	}
 }
 
 // BuildMatrix measures the full grid and returns the matrix (rows:
 // no_delay, then Shapes in order, then ExtraPatterns) plus the per-
 // algorithm no-delay runtimes (ns).
 func BuildMatrix(g GridConfig) (*core.Matrix, []float64, error) {
+	return BuildMatrixCtx(context.Background(), g)
+}
+
+// BuildMatrixCtx is BuildMatrix with cancellation. Cells are executed on
+// the grid's runner engine (runner.Default() when unset); results are
+// bit-identical to a serial evaluation at any worker count because every
+// cell's seed is derived from its grid coordinates.
+func BuildMatrixCtx(ctx context.Context, g GridConfig) (*core.Matrix, []float64, error) {
 	if err := g.fill(); err != nil {
 		return nil, nil, err
 	}
@@ -159,14 +195,43 @@ func BuildMatrix(g GridConfig) (*core.Matrix, []float64, error) {
 		return nil, nil, fmt.Errorf("expt: no pattern rows requested")
 	}
 
-	// Pass 1: no-delay runtimes.
-	noDelay := make([]float64, len(g.Algorithms))
+	eng := g.Runner
+	if eng == nil {
+		eng = runner.Default()
+	}
+	nAlg := len(g.Algorithms)
+	total := nAlg * (1 + len(g.Shapes) + len(g.ExtraPatterns))
+	var opts []runner.Option
+	if g.Progress != nil {
+		// Both passes run on the same engine sequentially; Map serializes
+		// progress callbacks, so the counter needs no further locking.
+		completed := 0
+		cb := g.Progress
+		opts = append(opts, runner.WithProgress(func(runner.Progress) {
+			completed++
+			cb(completed, total)
+		}))
+	}
+
+	// Pass 1: no-delay runtimes (the skew policies depend on them).
+	cells := make([]runner.Cell, nAlg)
 	for j, al := range g.Algorithms {
-		res, err := g.benchOnce(al, pattern.Pattern{}, 0)
-		if err != nil {
-			return nil, nil, fmt.Errorf("expt: no-delay %s: %w", al.Name, err)
+		cells[j] = runner.Cell{
+			Label:  pattern.NoDelay.String() + "/" + al.Name,
+			Config: g.cellConfig(al, pattern.Pattern{}, runner.NoDelaySeed(g.Seed)),
 		}
-		noDelay[j] = res.LastDelay.Mean
+	}
+	res, err := eng.Map(ctx, cells, opts...)
+	if err != nil {
+		var ce *runner.CellError
+		if errors.As(err, &ce) {
+			return nil, nil, fmt.Errorf("expt: no-delay %s: %w", g.Algorithms[ce.Index].Name, ce.Err)
+		}
+		return nil, nil, err
+	}
+	noDelay := make([]float64, nAlg)
+	for j := range g.Algorithms {
+		noDelay[j] = res[j].LastDelay.Mean
 	}
 	avgRuntime := stats.Mean(noDelay)
 
@@ -197,27 +262,37 @@ func BuildMatrix(g GridConfig) (*core.Matrix, []float64, error) {
 		}
 	}
 
-	// Pass 2: the pattern rows.
+	// Pass 2: the pattern rows, one cell per (row, algorithm).
+	cells = cells[:0]
 	for si, sh := range g.Shapes {
 		row := si + 1
 		for j, al := range g.Algorithms {
-			pat := pattern.Generate(sh, g.Procs, skewFor(j), g.Seed+int64(si))
-			res, err := g.benchOnce(al, pat, int64(row*100+j))
-			if err != nil {
-				return nil, nil, fmt.Errorf("expt: %s/%s: %w", sh, al.Name, err)
-			}
-			m.Set(row, j, res.LastDelay.Mean)
+			pat := pattern.Generate(sh, g.Procs, skewFor(j), runner.PatternSeed(g.Seed, si))
+			cells = append(cells, runner.Cell{
+				Label:  sh.String() + "/" + al.Name,
+				Config: g.cellConfig(al, pat, runner.CellSeed(g.Seed, row, j)),
+			})
 		}
 	}
 	for ei, ep := range g.ExtraPatterns {
 		row := 1 + len(g.Shapes) + ei
 		for j, al := range g.Algorithms {
-			res, err := g.benchOnce(al, ep, int64(row*100+j))
-			if err != nil {
-				return nil, nil, fmt.Errorf("expt: %s/%s: %w", ep.Name, al.Name, err)
-			}
-			m.Set(row, j, res.LastDelay.Mean)
+			cells = append(cells, runner.Cell{
+				Label:  ep.Name + "/" + al.Name,
+				Config: g.cellConfig(al, ep, runner.CellSeed(g.Seed, row, j)),
+			})
 		}
+	}
+	res, err = eng.Map(ctx, cells, opts...)
+	if err != nil {
+		var ce *runner.CellError
+		if errors.As(err, &ce) {
+			return nil, nil, fmt.Errorf("expt: %s: %w", ce.Label, ce.Err)
+		}
+		return nil, nil, err
+	}
+	for i := range cells {
+		m.Set(1+i/nAlg, i%nAlg, res[i].LastDelay.Mean)
 	}
 	return m, noDelay, nil
 }

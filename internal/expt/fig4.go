@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"collsel/internal/core"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
+	"collsel/internal/runner"
 	"collsel/internal/table"
 )
 
@@ -26,6 +28,11 @@ type Fig4Config struct {
 	Seed   int64
 	// Procs beyond the SimCluster need a custom platform.
 	Platform *netmodel.Platform
+	// Runner executes the grids (nil: runner.Default()).
+	Runner *runner.Engine
+	// Progress, when non-nil, is called after each completed cell with
+	// (done, total) over the whole study (all sizes).
+	Progress func(done, total int)
 }
 
 // Fig4SizeResult is the study outcome for one message size.
@@ -53,6 +60,11 @@ func DefaultFig4Sizes() []int {
 // clocks, SimGrid algorithm set, eight artificial patterns with maximum
 // skew 1.5*t^a.
 func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	return RunFig4Ctx(context.Background(), cfg)
+}
+
+// RunFig4Ctx is RunFig4 with cancellation.
+func RunFig4Ctx(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 	if cfg.Platform == nil {
 		cfg.Platform = netmodel.SimCluster()
 	}
@@ -69,19 +81,23 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 	if len(algs) == 0 {
 		return nil, fmt.Errorf("expt: no SimGrid algorithms for %v", cfg.Collective)
 	}
+	shapes := pattern.ArtificialShapes()
+	progress := studyProgress(cfg.Progress, len(cfg.MsgSizes), len(algs)*(1+len(shapes)))
 	out := &Fig4Result{Collective: cfg.Collective, Procs: cfg.Procs, Factor: cfg.Factor}
-	for _, sz := range cfg.MsgSizes {
-		m, _, err := BuildMatrix(GridConfig{
+	for i, sz := range cfg.MsgSizes {
+		m, _, err := BuildMatrixCtx(ctx, GridConfig{
 			Platform:      cfg.Platform,
 			Procs:         cfg.Procs,
 			Seed:          cfg.Seed,
 			Algorithms:    algs,
-			Shapes:        pattern.ArtificialShapes(),
+			Shapes:        shapes,
 			MsgBytes:      sz,
 			Policy:        SkewAvgRuntime,
 			Factor:        cfg.Factor,
 			PerfectClocks: true,
 			NoNoise:       true,
+			Runner:        cfg.Runner,
+			Progress:      progress(i),
 		})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"collsel/internal/core"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
+	"collsel/internal/runner"
 	"collsel/internal/table"
 )
 
@@ -21,6 +23,10 @@ type Fig5Config struct {
 	MsgSizes   []int
 	Seed       int64
 	Reps       int
+	// Runner executes the grids (nil: runner.Default()); Progress reports
+	// (done, total) cells over the whole study.
+	Runner   *runner.Engine
+	Progress func(done, total int)
 }
 
 // Fig5SizeResult carries the matrix and the 5%-good classification.
@@ -53,6 +59,11 @@ func Fig5Shapes() []pattern.Shape {
 // RunFig5 executes the study on a noisy machine with HCA-synchronized
 // clocks (the real-machine methodology).
 func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	return RunFig5Ctx(context.Background(), cfg)
+}
+
+// RunFig5Ctx is RunFig5 with cancellation.
+func RunFig5Ctx(ctx context.Context, cfg Fig5Config) (*Fig5Result, error) {
 	if cfg.Platform == nil {
 		cfg.Platform = netmodel.Hydra()
 	}
@@ -66,18 +77,22 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 	if len(algs) == 0 {
 		return nil, fmt.Errorf("expt: no Table II algorithms for %v", cfg.Collective)
 	}
+	shapes := Fig5Shapes()
+	progress := studyProgress(cfg.Progress, len(cfg.MsgSizes), len(algs)*(1+len(shapes)))
 	out := &Fig5Result{Machine: cfg.Platform.Name, Collective: cfg.Collective, Procs: cfg.Procs}
-	for _, sz := range cfg.MsgSizes {
-		m, _, err := BuildMatrix(GridConfig{
+	for i, sz := range cfg.MsgSizes {
+		m, _, err := BuildMatrixCtx(ctx, GridConfig{
 			Platform:   cfg.Platform,
 			Procs:      cfg.Procs,
 			Seed:       cfg.Seed,
 			Algorithms: algs,
-			Shapes:     Fig5Shapes(),
+			Shapes:     shapes,
 			MsgBytes:   sz,
 			Policy:     SkewAvgRuntime,
 			Factor:     1.0,
 			Reps:       cfg.Reps,
+			Runner:     cfg.Runner,
+			Progress:   progress(i),
 		})
 		if err != nil {
 			return nil, err
@@ -128,6 +143,10 @@ type Fig6Config struct {
 	MsgSizes   []int
 	Seed       int64
 	Reps       int
+	// Runner executes the grids (nil: runner.Default()); Progress reports
+	// (done, total) cells over the whole study.
+	Runner   *runner.Engine
+	Progress func(done, total int)
 }
 
 // Fig6SizeResult holds the normalized robustness cells for one size.
@@ -148,6 +167,11 @@ type Fig6Result struct {
 
 // RunFig6 executes the robustness study.
 func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	return RunFig6Ctx(context.Background(), cfg)
+}
+
+// RunFig6Ctx is RunFig6 with cancellation.
+func RunFig6Ctx(ctx context.Context, cfg Fig6Config) (*Fig6Result, error) {
 	if cfg.Platform == nil {
 		cfg.Platform = netmodel.Hydra()
 	}
@@ -161,18 +185,22 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 	if len(algs) == 0 {
 		return nil, fmt.Errorf("expt: no Table II algorithms for %v", cfg.Collective)
 	}
+	shapes := pattern.ArtificialShapes()
+	progress := studyProgress(cfg.Progress, len(cfg.MsgSizes), len(algs)*(1+len(shapes)))
 	out := &Fig6Result{Machine: cfg.Platform.Name, Collective: cfg.Collective, Procs: cfg.Procs}
-	for _, sz := range cfg.MsgSizes {
-		m, _, err := BuildMatrix(GridConfig{
+	for i, sz := range cfg.MsgSizes {
+		m, _, err := BuildMatrixCtx(ctx, GridConfig{
 			Platform:   cfg.Platform,
 			Procs:      cfg.Procs,
 			Seed:       cfg.Seed,
 			Algorithms: algs,
-			Shapes:     pattern.ArtificialShapes(),
+			Shapes:     shapes,
 			MsgBytes:   sz,
 			Policy:     SkewPerAlgorithm,
 			Factor:     1.0,
 			Reps:       cfg.Reps,
+			Runner:     cfg.Runner,
+			Progress:   progress(i),
 		})
 		if err != nil {
 			return nil, err

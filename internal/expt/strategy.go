@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,7 +62,14 @@ type StrategyComparison struct {
 // CompareStrategies builds the measurement matrix for g and evaluates the
 // three selection strategies on it.
 func CompareStrategies(g GridConfig) (*StrategyComparison, error) {
-	m, _, err := BuildMatrix(g)
+	return CompareStrategiesCtx(context.Background(), g)
+}
+
+// CompareStrategiesCtx is CompareStrategies with cancellation; the grid is
+// measured on g.Runner (runner.Default() when unset), so repeated
+// comparisons of the same configuration are served from the cell cache.
+func CompareStrategiesCtx(ctx context.Context, g GridConfig) (*StrategyComparison, error) {
+	m, _, err := BuildMatrixCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}

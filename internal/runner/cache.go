@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"collsel/internal/microbench"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+)
+
+// CellKey returns the canonical identity of a micro-benchmark cell:
+// (platform, procs, algorithm, pattern, message size, skew, seed, mode,
+// repetitions). Two configs with equal keys produce bit-identical results,
+// so the key is safe to memoize on. Platforms and patterns are fingerprinted
+// by content, not by pointer, so the preset constructors (which return a
+// fresh *Platform per call) still share cache entries.
+func CellKey(cfg microbench.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pl=%s|n=%d|coll=%v|alg=%d:%s|cnt=%d|es=%d|root=%d|pat=%s|reps=%d|warm=%d|seed=%d|pc=%t|nn=%t|val=%t",
+		platformKey(cfg.Platform), cfg.Procs,
+		cfg.Algorithm.Coll, cfg.Algorithm.ID, cfg.Algorithm.Name,
+		cfg.Count, cfg.ElemSize, cfg.Root,
+		patternKey(cfg.Pattern),
+		cfg.Reps, cfg.Warmup, cfg.Seed,
+		cfg.PerfectClocks, cfg.NoNoise, cfg.Validate)
+	return b.String()
+}
+
+// platformKey fingerprints a platform's full parameter set. Platform is a
+// plain value struct (no pointers, no functions), so the printed form is a
+// complete canonical serialization.
+func platformKey(p *netmodel.Platform) string {
+	if p == nil {
+		return "nil"
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *p)
+	return fmt.Sprintf("%s#%016x", p.Name, h.Sum64())
+}
+
+// patternKey fingerprints a pattern by its name and exact delay vector, so
+// traced application scenarios with equal names but different delays do not
+// collide.
+func patternKey(p pattern.Pattern) string {
+	if p.Size() == 0 {
+		return "no_delay"
+	}
+	h := fnv.New64a()
+	for _, d := range p.DelaysNs {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(d >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%s@%d#%016x", p.Name, p.Size(), h.Sum64())
+}
+
+// Cache memoizes finished cells by CellKey. It is safe for concurrent use
+// and coalesces duplicate in-flight cells: the second requester of a key
+// blocks until the first finishes instead of simulating again.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when res/err are populated
+	res   microbench.Result
+	err   error
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}}
+}
+
+// CacheStats counts cache traffic. Misses equals the number of simulations
+// actually executed through the cache.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// Len returns the number of memoized cells (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops all memoized cells and counters. Cells in flight complete
+// normally but are not re-inserted.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*cacheEntry{}
+	c.hits, c.misses = 0, 0
+}
+
+// do returns the memoized result for key, running run exactly once per key.
+// The returned Result's Reps slice is shared; callers must copy before
+// mutating. hit reports whether run was skipped for this call.
+func (c *Cache) do(key string, run func() (microbench.Result, error)) (res microbench.Result, err error, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.res, e.err, true
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.res, e.err = run()
+	close(e.ready)
+	return e.res, e.err, false
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check tools clean
+.PHONY: all build vet test race bench check fuzz tools clean
 
 all: check
 
@@ -22,6 +22,12 @@ bench:
 
 # Tier-1 verification: what every change must keep green.
 check: build vet test race
+
+# Randomized end-to-end correctness: every fuzzed (collective, algorithm,
+# procs, size, seed) run validates payloads against a direct computation.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/microbench -run '^$$' -fuzz FuzzCollectiveCorrectness -fuzztime $(FUZZTIME)
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

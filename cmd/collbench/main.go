@@ -45,6 +45,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
 		os.Exit(2)
 	}
+	if err := cliutil.CheckProcs(*procs, pl); err != nil {
+		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
+		os.Exit(2)
+	}
 	msgSizes, err := cliutil.ParseSizes(*sizes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)

@@ -35,6 +35,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftstudy: %v\n", err)
 		os.Exit(2)
 	}
+	for _, pl := range pls {
+		if err := cliutil.CheckProcs(*procs, pl); err != nil {
+			fmt.Fprintf(os.Stderr, "ftstudy: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	cl, ok := ft.ClassByName(*class)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ftstudy: unknown class %q\n", *class)

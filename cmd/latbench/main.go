@@ -44,6 +44,9 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if err := cliutil.CheckProcs(*procs, pl); err != nil {
+		fail("%v", err)
+	}
 	msgSizes, err := cliutil.ParseSizes(*sizes)
 	if err != nil {
 		fail("%v", err)

@@ -54,6 +54,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
 		os.Exit(2)
 	}
+	if err := cliutil.CheckProcs(*procs, pl); err != nil {
+		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
+		os.Exit(2)
+	}
 	algs := coll.TableII(c)
 	if len(algs) == 0 {
 		algs = coll.Algorithms(c)

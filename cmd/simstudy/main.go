@@ -19,6 +19,7 @@ import (
 	"collsel/internal/cliutil"
 	"collsel/internal/coll"
 	"collsel/internal/expt"
+	"collsel/internal/netmodel"
 )
 
 func main() {
@@ -37,6 +38,10 @@ func main() {
 	c, ok := coll.CollectiveByName(*collName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "simstudy: unknown collective %q\n", *collName)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckProcs(*procs, netmodel.SimCluster()); err != nil {
+		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
 		os.Exit(2)
 	}
 	msgSizes, err := cliutil.ParseSizes(*sizes)

@@ -38,6 +38,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
 		os.Exit(2)
 	}
+	if err := cliutil.CheckProcs(*procs, pl); err != nil {
+		fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+		os.Exit(2)
+	}
 	cl, ok := ft.ClassByName(*class)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tracer: unknown class %q\n", *class)

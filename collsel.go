@@ -26,6 +26,7 @@ package collsel
 
 import (
 	"context"
+	"fmt"
 
 	"collsel/internal/apps/dltrain"
 	"collsel/internal/apps/ft"
@@ -33,6 +34,7 @@ import (
 	"collsel/internal/core"
 	"collsel/internal/decision"
 	"collsel/internal/expt"
+	"collsel/internal/fault"
 	"collsel/internal/microbench"
 	"collsel/internal/mpi"
 	"collsel/internal/netmodel"
@@ -196,10 +198,47 @@ const (
 // BuildMatrix measures a full grid and returns the matrix plus the
 // per-algorithm no-delay runtimes. BuildMatrixCtx adds cancellation; both
 // execute cells on the parallel memoizing grid engine, with results
-// bit-identical at any worker count.
+// bit-identical at any worker count. BuildMatrixDegraded keeps going past
+// failed cells (crashes, exhausted retransmissions, watchdog trips) and
+// reports them instead of aborting.
 var (
-	BuildMatrix    = expt.BuildMatrix
-	BuildMatrixCtx = expt.BuildMatrixCtx
+	BuildMatrix         = expt.BuildMatrix
+	BuildMatrixCtx      = expt.BuildMatrixCtx
+	BuildMatrixDegraded = expt.BuildMatrixDegraded
+)
+
+// --- Fault injection --------------------------------------------------------------------
+
+// FaultProfile configures deterministic fault injection: message drops with
+// retransmission, transient link degradation, stragglers and rank crashes.
+// The zero value disables injection entirely.
+type FaultProfile = fault.Profile
+
+// Fault-event channels identify which transport message class a drop
+// decision applies to (used by custom analyses of fault plans).
+const (
+	FaultChannelEager = fault.ChannelEager
+	FaultChannelRTS   = fault.ChannelRTS
+	FaultChannelData  = fault.ChannelData
+)
+
+// FaultPlan is a materialized per-platform fault schedule; NewFaultPlan
+// derives one deterministically from (platform, size, seed, profile).
+type FaultPlan = fault.Plan
+
+// NewFaultPlan builds the deterministic fault schedule a world with this
+// configuration would use (nil when the profile is disabled).
+var NewFaultPlan = fault.NewPlan
+
+// FaultError is the typed failure surfaced when a rank crashes or a message
+// exhausts its retransmission budget.
+type FaultError = mpi.FaultError
+
+// DegradedReport summarizes the failed cells of a fault-tolerant grid
+// build; DegradedCell is one entry.
+type (
+	DegradedReport = expt.DegradedReport
+	DegradedCell   = expt.DegradedCell
 )
 
 // --- Tracing and the FT proxy ---------------------------------------------------------
@@ -324,6 +363,21 @@ type SelectConfig struct {
 	// Progress, when non-nil, is called after every measured cell with
 	// (done, total) over the selection's whole grid.
 	Progress func(done, total int)
+	// Faults configures deterministic fault injection for every measured
+	// cell; the zero value disables it. Under injection the selection runs
+	// in degraded mode: cells that crash, exhaust their retransmission
+	// budget or trip the watchdog exclude their algorithm from the ranking
+	// instead of aborting, and the Selection reports Degraded/Excluded/
+	// FaultCounts.
+	Faults FaultProfile
+	// WatchdogNs arms each cell's virtual-time watchdog (0 disables it): a
+	// simulation whose next event would exceed this virtual time is aborted
+	// with a diagnostic naming every blocked rank.
+	WatchdogNs int64
+	// Algorithms overrides the candidate set; nil benchmarks the Table II
+	// algorithms of the collective (all registered ones when the collective
+	// has no Table II set).
+	Algorithms []Algorithm
 }
 
 // Option adjusts a SelectConfig; see SelectCtx.
@@ -352,6 +406,18 @@ func WithProgress(fn func(done, total int)) Option {
 	return func(c *SelectConfig) { c.Progress = fn }
 }
 
+// WithFaults enables deterministic fault injection with the given profile
+// (and degraded-mode selection; see SelectConfig.Faults).
+func WithFaults(p FaultProfile) Option { return func(c *SelectConfig) { c.Faults = p } }
+
+// WithWatchdog arms each cell's virtual-time watchdog at d nanoseconds.
+func WithWatchdog(d int64) Option { return func(c *SelectConfig) { c.WatchdogNs = d } }
+
+// WithAlgorithms overrides the candidate algorithm set.
+func WithAlgorithms(algs ...Algorithm) Option {
+	return func(c *SelectConfig) { c.Algorithms = algs }
+}
+
 // Selection is the outcome of the pattern-aware selection workflow.
 type Selection struct {
 	// Recommended is the most robust algorithm: smallest average normalized
@@ -362,8 +428,21 @@ type Selection struct {
 	ConventionalChoice Algorithm
 	// Ranking lists all algorithms, best (most robust) first.
 	Ranking []Choice
-	// Matrix is the underlying measurement grid for further analysis.
+	// Matrix is the underlying measurement grid for further analysis. In a
+	// degraded selection it is the pruned (survivors-only) matrix.
 	Matrix *Matrix
+	// Degraded is true when fault injection failed at least one grid cell;
+	// the ranking then covers only the surviving algorithms.
+	Degraded bool
+	// Excluded lists the algorithms dropped from a degraded ranking because
+	// at least one of their cells failed.
+	Excluded []Algorithm
+	// FaultCounts maps an algorithm name to its number of failed cells
+	// (empty when not degraded).
+	FaultCounts map[string]int
+	// Report carries the per-cell failure details of a degraded selection
+	// (nil when fault injection and the watchdog are disabled).
+	Report *DegradedReport
 }
 
 // Select runs the paper's full selection methodology: benchmark every
@@ -390,7 +469,10 @@ func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selectio
 	for _, o := range opts {
 		o(&cfg)
 	}
-	algs := coll.TableII(cfg.Collective)
+	algs := cfg.Algorithms
+	if len(algs) == 0 {
+		algs = coll.TableII(cfg.Collective)
+	}
 	if len(algs) == 0 {
 		algs = coll.Algorithms(cfg.Collective)
 	}
@@ -403,7 +485,7 @@ func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selectio
 		// A bounded pool that still shares the process-wide cell cache.
 		eng = runner.New(runner.WithWorkers(cfg.Workers), runner.WithCache(runner.DefaultCache()))
 	}
-	m, _, err := expt.BuildMatrixCtx(ctx, expt.GridConfig{
+	grid := expt.GridConfig{
 		Platform:    cfg.Machine,
 		Procs:       cfg.Procs,
 		Seed:        cfg.Seed,
@@ -416,11 +498,38 @@ func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selectio
 		FixedSkewNs: cfg.MaxSkewNs,
 		Reps:        cfg.Reps,
 		Warmup:      cfg.Warmup,
+		Faults:      cfg.Faults,
+		WatchdogNs:  cfg.WatchdogNs,
 		Runner:      eng,
 		Progress:    cfg.Progress,
-	})
-	if err != nil {
-		return nil, err
+	}
+	sel := &Selection{}
+	var m *Matrix
+	var err error
+	if cfg.Faults.Enabled || cfg.WatchdogNs > 0 {
+		// Degraded mode: tolerate failed cells, exclude their algorithms and
+		// rank the survivors. Only fault injection and the watchdog can fail
+		// cells here, so an empty survivor set means every algorithm faulted.
+		var report *expt.DegradedReport
+		m, _, report, err = expt.BuildMatrixDegraded(ctx, grid)
+		if err != nil {
+			return nil, err
+		}
+		m, _ = m.PruneFailed()
+		sel.Report = report
+		if report.Degraded() {
+			sel.Degraded = true
+			sel.Excluded = report.Excluded
+			sel.FaultCounts = report.FaultCounts
+		}
+		if len(m.Algorithms) == 0 {
+			return nil, fmt.Errorf("collsel: every algorithm failed under fault injection: %s", report)
+		}
+	} else {
+		m, _, err = expt.BuildMatrixCtx(ctx, grid)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ranking, err := m.SelectRobust()
 	if err != nil {
@@ -430,10 +539,9 @@ func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selectio
 	if err != nil {
 		return nil, err
 	}
-	return &Selection{
-		Recommended:        ranking[0].Algorithm,
-		ConventionalChoice: conventional,
-		Ranking:            ranking,
-		Matrix:             m,
-	}, nil
+	sel.Recommended = ranking[0].Algorithm
+	sel.ConventionalChoice = conventional
+	sel.Ranking = ranking
+	sel.Matrix = m
+	return sel, nil
 }

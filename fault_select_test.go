@@ -1,0 +1,136 @@
+package collsel_test
+
+// Tests of the degraded-mode selection workflow: fault injection through
+// SelectCtx, algorithm exclusion, worker-count determinism of faulty
+// selections, and the zero-fault golden guarantee.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"collsel"
+)
+
+// faultySelect is fastSelect with deterministic fault injection enabled at
+// a drop rate low enough that retransmission always recovers.
+func faultySelect() collsel.SelectConfig {
+	cfg := fastSelect()
+	cfg.Faults = collsel.FaultProfile{Enabled: true, DropProb: 0.02, MaxRetries: 50}
+	return cfg
+}
+
+func TestSelectWithZeroFaultProfileMatchesPlain(t *testing.T) {
+	plain, err := collsel.Select(fastSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastSelect()
+	cfg.Faults = collsel.FaultProfile{Enabled: true} // all probabilities zero
+	zeroed, err := collsel.Select(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroed.Degraded || len(zeroed.Excluded) > 0 {
+		t.Fatalf("zero-fault selection reported degradation: %+v", zeroed.Report)
+	}
+	if zeroed.Recommended.Name != plain.Recommended.Name {
+		t.Errorf("recommendation changed: %s vs %s", zeroed.Recommended.Name, plain.Recommended.Name)
+	}
+	for i := range plain.Matrix.ValueNs {
+		for j := range plain.Matrix.ValueNs[i] {
+			if plain.Matrix.ValueNs[i][j] != zeroed.Matrix.ValueNs[i][j] {
+				t.Fatalf("matrix cell (%d,%d) differs: %v vs %v",
+					i, j, plain.Matrix.ValueNs[i][j], zeroed.Matrix.ValueNs[i][j])
+			}
+		}
+	}
+}
+
+func TestFaultySelectionBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	var ref *collsel.Selection
+	for _, workers := range []int{1, 4, 8} {
+		sel, err := collsel.SelectCtx(context.Background(), faultySelect(),
+			collsel.WithParallelism(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = sel
+			continue
+		}
+		if sel.Recommended.Name != ref.Recommended.Name || sel.Degraded != ref.Degraded {
+			t.Fatalf("workers=%d: selection diverged (%s/%v vs %s/%v)",
+				workers, sel.Recommended.Name, sel.Degraded, ref.Recommended.Name, ref.Degraded)
+		}
+		for i := range ref.Matrix.ValueNs {
+			for j := range ref.Matrix.ValueNs[i] {
+				if sel.Matrix.ValueNs[i][j] != ref.Matrix.ValueNs[i][j] {
+					t.Fatalf("workers=%d: matrix cell (%d,%d) differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDegradedSelectionExcludesCrashingAlgorithm(t *testing.T) {
+	// A synthetic algorithm that always fails stands in for one whose cells
+	// crash under fault injection.
+	broken := collsel.Algorithm{
+		Coll: collsel.Alltoall,
+		Name: "always_broken",
+		Run: func(a *collsel.Args) ([]float64, error) {
+			return nil, fmt.Errorf("injected permanent failure")
+		},
+	}
+	algs := append(collsel.TableII(collsel.Alltoall), broken)
+	cfg := fastSelect()
+	cfg.Algorithms = algs
+	cfg.WatchdogNs = 10_000_000_000 // degraded mode without message drops
+	sel, err := collsel.Select(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Degraded {
+		t.Fatal("selection not flagged degraded despite a failing algorithm")
+	}
+	if len(sel.Excluded) != 1 || sel.Excluded[0].Name != "always_broken" {
+		t.Fatalf("excluded %v, want exactly always_broken", sel.Excluded)
+	}
+	if sel.FaultCounts["always_broken"] == 0 {
+		t.Error("no fault count recorded for the failing algorithm")
+	}
+	if sel.Recommended.Name == "always_broken" {
+		t.Error("recommended the failing algorithm")
+	}
+	for _, al := range sel.Matrix.Algorithms {
+		if al.Name == "always_broken" {
+			t.Error("failing algorithm still present in the pruned matrix")
+		}
+	}
+	// The survivors' ranking matches a clean selection over the same set.
+	clean, err := collsel.Select(fastSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Recommended.Name != clean.Recommended.Name {
+		t.Errorf("degraded recommendation %s, clean %s", sel.Recommended.Name, clean.Recommended.Name)
+	}
+}
+
+func TestEveryAlgorithmFailingIsAnError(t *testing.T) {
+	broken := collsel.Algorithm{
+		Coll: collsel.Allreduce,
+		Name: "always_broken",
+		Run: func(a *collsel.Args) ([]float64, error) {
+			return nil, fmt.Errorf("injected permanent failure")
+		},
+	}
+	cfg := fastSelect()
+	cfg.Collective = collsel.Allreduce
+	cfg.Algorithms = []collsel.Algorithm{broken}
+	cfg.WatchdogNs = 10_000_000_000
+	if _, err := collsel.Select(cfg); err == nil {
+		t.Fatal("expected an error when every algorithm fails")
+	}
+}

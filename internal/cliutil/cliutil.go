@@ -45,6 +45,41 @@ func Machine(name string) (*netmodel.Platform, error) {
 	return pl, nil
 }
 
+// CheckProcs validates a tool's -procs flag against the machine model:
+// the process count must be positive and no larger than the machine. The
+// error message names both, so the user can immediately correct the flag.
+func CheckProcs(procs int, pl *netmodel.Platform) error {
+	if procs <= 0 {
+		return fmt.Errorf("process count must be positive, got %d", procs)
+	}
+	if procs > pl.Size() {
+		return fmt.Errorf("%d processes exceed machine %s (%d nodes x %d cores = %d processes)",
+			procs, pl.Name, pl.Nodes, pl.CoresPerNode, pl.Size())
+	}
+	return nil
+}
+
+// ParseFloats parses a comma-separated list of floats in [0, 1] (used for
+// probability sweeps). An empty string yields nil.
+func ParseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("bad probability %q (want 0..1)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // Engine builds a grid-execution engine for a tool's -workers flag:
 // 0 returns nil (the caller falls back to the shared default engine, i.e.
 // GOMAXPROCS workers); a positive value bounds the pool at that size while

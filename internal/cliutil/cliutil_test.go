@@ -1,6 +1,11 @@
 package cliutil
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"collsel/internal/netmodel"
+)
 
 func TestParseSizes(t *testing.T) {
 	out, err := ParseSizes("8, 1024,32768")
@@ -39,5 +44,39 @@ func TestMachines(t *testing.T) {
 	}
 	if _, err := Machines("Hydra,nope"); err == nil {
 		t.Fatal("bad list accepted")
+	}
+}
+
+func TestCheckProcs(t *testing.T) {
+	pl := netmodel.Hydra() // 36 x 32 = 1152
+	if err := CheckProcs(1152, pl); err != nil {
+		t.Errorf("full machine rejected: %v", err)
+	}
+	if err := CheckProcs(0, pl); err == nil {
+		t.Error("zero procs accepted")
+	}
+	err := CheckProcs(1153, pl)
+	if err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	for _, want := range []string{"1153", "Hydra", "1152"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats(" 0, 0.05 ,1 ")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 0.05 || got[2] != 1 {
+		t.Errorf("got %v, %v", got, err)
+	}
+	if got, err := ParseFloats(""); err != nil || got != nil {
+		t.Errorf("empty input: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "-0.1", "1.5"} {
+		if _, err := ParseFloats(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

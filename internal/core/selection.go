@@ -84,6 +84,45 @@ func (m *Matrix) Validate() error {
 	return nil
 }
 
+// PruneFailed returns a matrix with every algorithm column that contains a
+// missing or invalid measurement (NaN or <= 0) removed, plus the removed
+// algorithms in column order. It is the bridge from a degraded grid build
+// to the selection analyses, which require a fully populated matrix. When
+// nothing is missing the receiver itself is returned unchanged.
+func (m *Matrix) PruneFailed() (*Matrix, []coll.Algorithm) {
+	var keep []int
+	var dropped []coll.Algorithm
+	for j, al := range m.Algorithms {
+		ok := true
+		for i := range m.Patterns {
+			if v := m.ValueNs[i][j]; math.IsNaN(v) || v <= 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, j)
+		} else {
+			dropped = append(dropped, al)
+		}
+	}
+	if len(dropped) == 0 {
+		return m, nil
+	}
+	algs := make([]coll.Algorithm, len(keep))
+	for k, j := range keep {
+		algs[k] = m.Algorithms[j]
+	}
+	out := NewMatrix(m.Collective, m.Patterns, algs)
+	out.MsgBytes, out.Procs, out.Machine = m.MsgBytes, m.Procs, m.Machine
+	for i := range m.Patterns {
+		for k, j := range keep {
+			out.ValueNs[i][k] = m.ValueNs[i][j]
+		}
+	}
+	return out, dropped
+}
+
 // PatternIndex returns the row index of a pattern name, or -1.
 func (m *Matrix) PatternIndex(name string) int {
 	for i, p := range m.Patterns {

@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"collsel/internal/coll"
+	"collsel/internal/core"
+)
+
+// DegradedCell records the failure of one grid cell of a fault-tolerant
+// build.
+type DegradedCell struct {
+	// Pattern is the row label of the failed cell ("no_delay", a shape name
+	// or an extra pattern's name).
+	Pattern string
+	// Algorithm is the column of the failed cell.
+	Algorithm coll.Algorithm
+	// Err is the cell's underlying failure (typically an *mpi.FaultError or
+	// a *sim.DeadlineError).
+	Err error
+}
+
+// DegradedReport summarizes the failures of a BuildMatrixDegraded call.
+type DegradedReport struct {
+	// Cells lists every failed cell, ascending by grid position (pass order,
+	// then row-major within a pass). Deterministic across worker counts.
+	Cells []DegradedCell
+	// FaultCounts maps an algorithm name to its number of failed cells.
+	FaultCounts map[string]int
+	// Excluded lists the algorithms with at least one failed cell, in
+	// algorithm (column) order. They cannot be ranked: any missing
+	// measurement would bias the average-normalized-runtime score.
+	Excluded []coll.Algorithm
+	// Retransmits and Drops total the fault-injection traffic over every
+	// successful cell of the grid.
+	Retransmits, Drops int64
+}
+
+// Degraded reports whether any cell failed.
+func (r *DegradedReport) Degraded() bool { return r != nil && len(r.Cells) > 0 }
+
+// record appends one failed cell.
+func (r *DegradedReport) record(patternName string, al coll.Algorithm, err error) {
+	r.Cells = append(r.Cells, DegradedCell{Pattern: patternName, Algorithm: al, Err: err})
+	r.FaultCounts[al.Name]++
+}
+
+// finish derives the exclusion list from the finished matrix's NaN holes.
+func (r *DegradedReport) finish(m *core.Matrix) {
+	for j, al := range m.Algorithms {
+		for i := range m.Patterns {
+			if math.IsNaN(m.ValueNs[i][j]) {
+				r.Excluded = append(r.Excluded, al)
+				break
+			}
+		}
+	}
+}
+
+// String renders a short human-readable summary ("ok" when nothing failed).
+func (r *DegradedReport) String() string {
+	if !r.Degraded() {
+		return "ok: no degraded cells"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "degraded: %d cell(s) failed, %d algorithm(s) excluded", len(r.Cells), len(r.Excluded))
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "\n  %s/%s: %v", c.Pattern, c.Algorithm.Name, c.Err)
+	}
+	return b.String()
+}
+
+// BuildMatrixDegraded measures the grid like BuildMatrixCtx but keeps going
+// past failed cells: a cell that crashes, exhausts its retransmission budget
+// or trips the watchdog is recorded in the report and left as a NaN hole in
+// the matrix instead of aborting the build. The per-algorithm no-delay
+// runtimes are NaN for algorithms whose baseline cell failed. Callers that
+// need a fully populated matrix (Validate, SelectRobust) must first drop the
+// holes with Matrix.PruneFailed.
+//
+// The non-nil error return is reserved for configuration problems and
+// context cancellation. A build with zero failures returns a matrix
+// bit-identical to BuildMatrixCtx's, at any worker count.
+func BuildMatrixDegraded(ctx context.Context, g GridConfig) (*core.Matrix, []float64, *DegradedReport, error) {
+	return buildMatrix(ctx, g, true)
+}

@@ -7,16 +7,16 @@ package expt
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"math"
 
 	"collsel/internal/coll"
 	"collsel/internal/core"
+	"collsel/internal/fault"
 	"collsel/internal/microbench"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
 	"collsel/internal/runner"
-	"collsel/internal/stats"
 )
 
 // SizeToCount converts a wire message size in bytes to (count, elemSize).
@@ -99,6 +99,14 @@ type GridConfig struct {
 	// PerfectClocks/NoNoise select simulation mode.
 	PerfectClocks bool
 	NoNoise       bool
+	// Faults configures deterministic fault injection for every cell of the
+	// grid; the zero value disables it (and is bit-identical to a build
+	// without fault support).
+	Faults fault.Profile
+	// WatchdogNs arms each cell's virtual-time watchdog: a simulation whose
+	// next event would exceed this deadline aborts with a diagnostic instead
+	// of running (or hanging) forever. 0 disables the watchdog.
+	WatchdogNs int64
 	// Runner executes the grid's cells; nil uses runner.Default(), the
 	// process-wide engine with GOMAXPROCS workers and a shared memoization
 	// cache. Results are bit-identical at any worker count.
@@ -173,6 +181,8 @@ func (g *GridConfig) cellConfig(al coll.Algorithm, pat pattern.Pattern, seed int
 		Warmup:        g.Warmup,
 		PerfectClocks: g.PerfectClocks,
 		NoNoise:       g.NoNoise,
+		Faults:        g.Faults,
+		WatchdogNs:    g.WatchdogNs,
 	}
 }
 
@@ -186,13 +196,25 @@ func BuildMatrix(g GridConfig) (*core.Matrix, []float64, error) {
 // BuildMatrixCtx is BuildMatrix with cancellation. Cells are executed on
 // the grid's runner engine (runner.Default() when unset); results are
 // bit-identical to a serial evaluation at any worker count because every
-// cell's seed is derived from its grid coordinates.
+// cell's seed is derived from its grid coordinates. The first failed cell
+// (smallest grid index) aborts the build; see BuildMatrixDegraded for the
+// fault-tolerant variant.
 func BuildMatrixCtx(ctx context.Context, g GridConfig) (*core.Matrix, []float64, error) {
+	m, noDelay, _, err := buildMatrix(ctx, g, false)
+	return m, noDelay, err
+}
+
+// buildMatrix measures the grid. With tolerate=false the first failed cell
+// aborts the build (the historical BuildMatrix contract); with tolerate=true
+// failed cells are recorded in the returned report and left as NaN holes in
+// the matrix. A zero-failure tolerant build returns a matrix bit-identical
+// to an intolerant one.
+func buildMatrix(ctx context.Context, g GridConfig, tolerate bool) (*core.Matrix, []float64, *DegradedReport, error) {
 	if err := g.fill(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if len(g.Shapes) == 0 && len(g.ExtraPatterns) == 0 {
-		return nil, nil, fmt.Errorf("expt: no pattern rows requested")
+		return nil, nil, nil, fmt.Errorf("expt: no pattern rows requested")
 	}
 
 	eng := g.Runner
@@ -212,6 +234,7 @@ func BuildMatrixCtx(ctx context.Context, g GridConfig) (*core.Matrix, []float64,
 			cb(completed, total)
 		}))
 	}
+	report := &DegradedReport{FaultCounts: map[string]int{}}
 
 	// Pass 1: no-delay runtimes (the skew policies depend on them).
 	cells := make([]runner.Cell, nAlg)
@@ -221,19 +244,38 @@ func BuildMatrixCtx(ctx context.Context, g GridConfig) (*core.Matrix, []float64,
 			Config: g.cellConfig(al, pattern.Pattern{}, runner.NoDelaySeed(g.Seed)),
 		}
 	}
-	res, err := eng.Map(ctx, cells, opts...)
+	res, cellErrs, err := eng.MapAll(ctx, cells, opts...)
 	if err != nil {
-		var ce *runner.CellError
-		if errors.As(err, &ce) {
-			return nil, nil, fmt.Errorf("expt: no-delay %s: %w", g.Algorithms[ce.Index].Name, ce.Err)
-		}
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	if len(cellErrs) > 0 && !tolerate {
+		ce := cellErrs[0]
+		return nil, nil, nil, fmt.Errorf("expt: no-delay %s: %w", g.Algorithms[ce.Index].Name, ce.Err)
+	}
+	failed := make(map[int]bool) // pass-1 cell index -> failed
+	for _, ce := range cellErrs {
+		failed[ce.Index] = true
+		report.record(pattern.NoDelay.String(), g.Algorithms[ce.Index], ce.Err)
 	}
 	noDelay := make([]float64, nAlg)
+	var survivorSum float64
+	survivors := 0
 	for j := range g.Algorithms {
+		if failed[j] {
+			noDelay[j] = math.NaN()
+			continue
+		}
 		noDelay[j] = res[j].LastDelay.Mean
+		survivorSum += noDelay[j]
+		survivors++
+		report.Retransmits += res[j].Retransmits
+		report.Drops += res[j].Drops
 	}
-	avgRuntime := stats.Mean(noDelay)
+	// Matches stats.Mean(noDelay) exactly in the zero-failure case.
+	avgRuntime := math.NaN()
+	if survivors > 0 {
+		avgRuntime = survivorSum / float64(survivors)
+	}
 
 	rows := []string{pattern.NoDelay.String()}
 	for _, sh := range g.Shapes {
@@ -254,6 +296,12 @@ func BuildMatrixCtx(ctx context.Context, g GridConfig) (*core.Matrix, []float64,
 	skewFor := func(algIdx int) int64 {
 		switch g.Policy {
 		case SkewPerAlgorithm:
+			if math.IsNaN(noDelay[algIdx]) {
+				// The algorithm's own baseline failed; it will be excluded,
+				// but its pattern cells still need a finite, deterministic
+				// skew. Fall back to the survivors' average.
+				return int64(g.Factor * avgRuntime)
+			}
 			return int64(g.Factor * noDelay[algIdx])
 		case SkewFixed:
 			return g.FixedSkewNs
@@ -283,16 +331,27 @@ func BuildMatrixCtx(ctx context.Context, g GridConfig) (*core.Matrix, []float64,
 			})
 		}
 	}
-	res, err = eng.Map(ctx, cells, opts...)
+	res, cellErrs, err = eng.MapAll(ctx, cells, opts...)
 	if err != nil {
-		var ce *runner.CellError
-		if errors.As(err, &ce) {
-			return nil, nil, fmt.Errorf("expt: %s: %w", ce.Label, ce.Err)
-		}
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	if len(cellErrs) > 0 && !tolerate {
+		ce := cellErrs[0]
+		return nil, nil, nil, fmt.Errorf("expt: %s: %w", ce.Label, ce.Err)
+	}
+	failed = make(map[int]bool)
+	for _, ce := range cellErrs {
+		failed[ce.Index] = true
+		report.record(rows[1+ce.Index/nAlg], g.Algorithms[ce.Index%nAlg], ce.Err)
 	}
 	for i := range cells {
+		if failed[i] {
+			continue // leave the NaN hole for PruneFailed/exclusion
+		}
 		m.Set(1+i/nAlg, i%nAlg, res[i].LastDelay.Mean)
+		report.Retransmits += res[i].Retransmits
+		report.Drops += res[i].Drops
 	}
-	return m, noDelay, nil
+	report.finish(m)
+	return m, noDelay, report, nil
 }

@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/netmodel"
+	"collsel/internal/runner"
+)
+
+// studyConfig is a small, fast sweep: one collective on the noiseless
+// SimCluster with an aggressive top drop rate.
+func studyConfig(workers int) FaultStudyConfig {
+	return FaultStudyConfig{
+		Platform:    netmodel.SimCluster(),
+		Collectives: []coll.Collective{coll.Allreduce},
+		Procs:       16,
+		MsgBytes:    4096,
+		DropRates:   []float64{0, 0.05, 0.3},
+		Seed:        1,
+		// A private unbounded cache per call keeps runs independent.
+		Runner: runner.New(runner.WithWorkers(workers)),
+	}
+}
+
+func TestFaultStudySweep(t *testing.T) {
+	res, err := RunFaultStudy(studyConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	clean := res.Rows[0]
+	if clean.Degraded || clean.Retransmits != 0 || clean.Changed {
+		t.Errorf("zero-drop row reports fault traffic: %+v", clean)
+	}
+	if clean.AllFailed || clean.Selected.Name == "" {
+		t.Error("zero-drop row has no selection")
+	}
+	lossy := res.Rows[2]
+	if lossy.Retransmits == 0 {
+		t.Error("30% drop row reports no retransmissions")
+	}
+	out := res.Format()
+	for _, want := range []string{"SimCluster", "allreduce", "0.300", "drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultStudyDeterministicAcrossWorkers(t *testing.T) {
+	a, err := RunFaultStudy(studyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultStudy(studyConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Selected.Name != rb.Selected.Name || ra.Score != rb.Score ||
+			ra.Retransmits != rb.Retransmits || ra.Drops != rb.Drops ||
+			ra.FailedCells != rb.FailedCells {
+			t.Fatalf("row %d diverged across worker counts:\n%+v\nvs\n%+v", i, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package fault implements deterministic fault injection for the simulated
+// machines: message drops, transient link degradation, straggler ranks and
+// rank crashes at scheduled virtual times.
+//
+// Like the noise model, a fault schedule is a pure function of the platform
+// fingerprint, the communicator size and the run seed — never of execution
+// order. Per-message drop decisions are stateless hashes of the message's
+// identity (source, destination, per-pair sequence number, protocol channel,
+// delivery attempt), so a simulation replayed with the same seed drops
+// exactly the same packets no matter how kernel events interleave, and the
+// grid engine stays bit-identical at any worker count.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"collsel/internal/netmodel"
+)
+
+// Default retransmission parameters, used when the profile leaves the
+// corresponding field zero.
+const (
+	// DefaultRetryTimeoutNs is the base retransmission timeout.
+	DefaultRetryTimeoutNs = 100_000
+	// DefaultRetryBackoff is the exponential backoff factor between retries.
+	DefaultRetryBackoff = 2.0
+	// DefaultMaxRetries is the number of retransmissions before a message
+	// fault is surfaced as an error.
+	DefaultMaxRetries = 5
+)
+
+// Profile declares what faults a run injects. It is a flat value struct so
+// it can be fingerprinted into cache keys; the zero value (Enabled false)
+// injects nothing.
+type Profile struct {
+	// Enabled turns fault injection on.
+	Enabled bool
+
+	// DropProb is the probability that any single message transmission
+	// attempt (eager payload, rendezvous RTS, or rendezvous data) is lost
+	// and must be retransmitted.
+	DropProb float64
+
+	// RetryTimeoutNs is the base retransmission timeout; 0 uses
+	// DefaultRetryTimeoutNs.
+	RetryTimeoutNs int64
+	// RetryBackoff multiplies the timeout after each failed attempt; values
+	// < 1 use DefaultRetryBackoff.
+	RetryBackoff float64
+	// MaxRetries caps the retransmissions per message; 0 uses
+	// DefaultMaxRetries. A negative value means no retries at all.
+	MaxRetries int
+
+	// DegradeProb is the per-rank probability that the rank's outgoing
+	// links suffer one transient degradation window.
+	DegradeProb float64
+	// DegradeLatencyFactor multiplies link latency inside a degradation
+	// window (values <= 1 leave latency unchanged).
+	DegradeLatencyFactor float64
+	// DegradeBandwidthFactor multiplies link bandwidth inside a window
+	// (e.g. 0.25 = quarter bandwidth; values <= 0 or >= 1 leave it alone).
+	DegradeBandwidthFactor float64
+	// DegradeStartMaxNs bounds the uniform window start time.
+	DegradeStartMaxNs int64
+	// DegradeDurationNs is the window length.
+	DegradeDurationNs int64
+
+	// StragglerProb is the per-rank probability of being a straggler.
+	StragglerProb float64
+	// StragglerFactor multiplies a straggler's compute time (> 1).
+	StragglerFactor float64
+
+	// CrashProb is the per-rank probability of crashing during the run.
+	CrashProb float64
+	// CrashMaxNs bounds the uniform crash virtual time.
+	CrashMaxNs int64
+}
+
+// retryTimeoutNs returns the effective base timeout.
+func (p Profile) retryTimeoutNs() int64 {
+	if p.RetryTimeoutNs > 0 {
+		return p.RetryTimeoutNs
+	}
+	return DefaultRetryTimeoutNs
+}
+
+// retryBackoff returns the effective backoff factor.
+func (p Profile) retryBackoff() float64 {
+	if p.RetryBackoff >= 1 {
+		return p.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// maxRetries returns the effective retry cap.
+func (p Profile) maxRetries() int {
+	if p.MaxRetries > 0 {
+		return p.MaxRetries
+	}
+	if p.MaxRetries < 0 {
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+// Channel identifies which protocol message a drop decision applies to, so
+// the three transmissions of one logical message hash independently.
+type Channel int
+
+const (
+	// ChannelEager is an eager-protocol payload.
+	ChannelEager Channel = iota + 1
+	// ChannelRTS is a rendezvous ready-to-send envelope.
+	ChannelRTS
+	// ChannelData is a rendezvous data transfer (post-CTS).
+	ChannelData
+)
+
+// window is one transient link-degradation interval on a rank's ports.
+type window struct {
+	startNs, endNs int64
+}
+
+// Plan is the materialized fault schedule of one run. A nil *Plan is valid
+// and injects nothing, so callers can thread it unconditionally.
+type Plan struct {
+	prof Profile
+	seed uint64
+	// degrade[r] is rank r's outgoing-link degradation window (zero-length
+	// when the rank is unaffected).
+	degrade []window
+	// straggle[r] is rank r's compute multiplier (1 = nominal).
+	straggle []float64
+	// crashNs[r] is rank r's crash virtual time; -1 = never.
+	crashNs []int64
+}
+
+// NewPlan derives the fault schedule for size ranks on platform pl with the
+// given seed. It returns nil when the profile is disabled.
+func NewPlan(pl *netmodel.Platform, size int, seed int64, prof Profile) *Plan {
+	if !prof.Enabled {
+		return nil
+	}
+	base := mix(fingerprint(pl) ^ mix(uint64(seed)) ^ mix(uint64(size)+0x51a9b7))
+	p := &Plan{
+		prof:     prof,
+		seed:     base,
+		degrade:  make([]window, size),
+		straggle: make([]float64, size),
+		crashNs:  make([]int64, size),
+	}
+	for r := 0; r < size; r++ {
+		p.straggle[r] = 1
+		if prof.StragglerProb > 0 && prof.StragglerFactor > 1 &&
+			p.unit(saltStraggler, uint64(r)) < prof.StragglerProb {
+			p.straggle[r] = prof.StragglerFactor
+		}
+		p.crashNs[r] = -1
+		if prof.CrashProb > 0 && prof.CrashMaxNs > 0 &&
+			p.unit(saltCrash, uint64(r)) < prof.CrashProb {
+			p.crashNs[r] = int64(p.unit(saltCrashAt, uint64(r)) * float64(prof.CrashMaxNs))
+		}
+		if prof.DegradeProb > 0 && prof.DegradeDurationNs > 0 &&
+			p.unit(saltDegrade, uint64(r)) < prof.DegradeProb {
+			start := int64(p.unit(saltDegradeAt, uint64(r)) * float64(max64(prof.DegradeStartMaxNs, 1)))
+			p.degrade[r] = window{startNs: start, endNs: start + prof.DegradeDurationNs}
+		}
+	}
+	return p
+}
+
+// Profile returns the profile the plan was derived from (zero for nil).
+func (p *Plan) Profile() Profile {
+	if p == nil {
+		return Profile{}
+	}
+	return p.prof
+}
+
+// Drop decides whether transmission attempt number attempt of the message
+// identified by (src, dst, pseq, ch) is lost. The decision is a pure hash
+// of those coordinates and the plan seed.
+func (p *Plan) Drop(src, dst int, pseq int64, ch Channel, attempt int) bool {
+	if p == nil || p.prof.DropProb <= 0 || src == dst {
+		return false
+	}
+	u := p.unit(saltDrop, uint64(src), uint64(dst), uint64(pseq), uint64(ch), uint64(attempt))
+	return u < p.prof.DropProb
+}
+
+// LinkFactors returns the (latency, bandwidth) multipliers in effect on
+// rank src's outgoing links at virtual time atNs. Both are 1 outside any
+// degradation window.
+func (p *Plan) LinkFactors(src int, atNs int64) (latency, bandwidth float64) {
+	if p == nil || src >= len(p.degrade) {
+		return 1, 1
+	}
+	w := p.degrade[src]
+	if w.endNs <= w.startNs || atNs < w.startNs || atNs >= w.endNs {
+		return 1, 1
+	}
+	latency, bandwidth = 1, 1
+	if p.prof.DegradeLatencyFactor > 1 {
+		latency = p.prof.DegradeLatencyFactor
+	}
+	if p.prof.DegradeBandwidthFactor > 0 && p.prof.DegradeBandwidthFactor < 1 {
+		bandwidth = p.prof.DegradeBandwidthFactor
+	}
+	return latency, bandwidth
+}
+
+// StragglerFactor returns rank r's static compute multiplier (>= 1).
+func (p *Plan) StragglerFactor(r int) float64 {
+	if p == nil || r >= len(p.straggle) {
+		return 1
+	}
+	return p.straggle[r]
+}
+
+// CrashAtNs returns the virtual time at which rank r crashes, and whether
+// it crashes at all.
+func (p *Plan) CrashAtNs(r int) (int64, bool) {
+	if p == nil || r >= len(p.crashNs) || p.crashNs[r] < 0 {
+		return 0, false
+	}
+	return p.crashNs[r], true
+}
+
+// MaxRetries returns the retransmission cap per message.
+func (p *Plan) MaxRetries() int {
+	if p == nil {
+		return 0
+	}
+	return p.prof.maxRetries()
+}
+
+// RetryDelayNs returns the backoff delay before retransmission attempt+1:
+// timeout * backoff^attempt.
+func (p *Plan) RetryDelayNs(attempt int) int64 {
+	if p == nil {
+		return DefaultRetryTimeoutNs
+	}
+	d := float64(p.prof.retryTimeoutNs())
+	for i := 0; i < attempt; i++ {
+		d *= p.prof.retryBackoff()
+	}
+	return int64(d)
+}
+
+// Schedule renders the per-rank fault schedule as a canonical string, used
+// by determinism tests to assert bit-identical plans across runs.
+func (p *Plan) Schedule() string {
+	if p == nil {
+		return "fault: none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault: seed=%016x drop=%g retries=%d\n", p.seed, p.prof.DropProb, p.prof.maxRetries())
+	for r := range p.straggle {
+		if p.straggle[r] != 1 {
+			fmt.Fprintf(&b, "rank %d: straggler x%g\n", r, p.straggle[r])
+		}
+		if p.crashNs[r] >= 0 {
+			fmt.Fprintf(&b, "rank %d: crash at t=%d ns\n", r, p.crashNs[r])
+		}
+		if w := p.degrade[r]; w.endNs > w.startNs {
+			fmt.Fprintf(&b, "rank %d: degraded links [%d, %d) ns\n", r, w.startNs, w.endNs)
+		}
+	}
+	return b.String()
+}
+
+// --- deterministic hashing ---------------------------------------------------
+
+const (
+	saltDrop uint64 = iota + 0xfa017
+	saltStraggler
+	saltCrash
+	saltCrashAt
+	saltDegrade
+	saltDegradeAt
+)
+
+// mix is the SplitMix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit hashes the plan seed with the given salts into a uniform [0, 1).
+func (p *Plan) unit(salts ...uint64) float64 {
+	h := p.seed
+	for _, s := range salts {
+		h = mix(h ^ s)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// fingerprint hashes a platform's full parameter set, so plans derived on
+// different machines (or differently tuned copies of one machine) diverge.
+func fingerprint(pl *netmodel.Platform) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *pl)
+	return h.Sum64()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

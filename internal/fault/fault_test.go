@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"collsel/internal/netmodel"
+)
+
+func enabledProfile() Profile {
+	return Profile{
+		Enabled:                true,
+		DropProb:               0.1,
+		StragglerProb:          0.3,
+		StragglerFactor:        2.5,
+		CrashProb:              0.2,
+		CrashMaxNs:             1_000_000,
+		DegradeProb:            0.4,
+		DegradeLatencyFactor:   4,
+		DegradeBandwidthFactor: 0.25,
+		DegradeStartMaxNs:      500_000,
+		DegradeDurationNs:      200_000,
+	}
+}
+
+func TestDisabledProfileYieldsNilPlan(t *testing.T) {
+	if p := NewPlan(netmodel.SimCluster(), 16, 1, Profile{}); p != nil {
+		t.Fatalf("disabled profile produced a plan: %v", p)
+	}
+}
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.Drop(0, 1, 0, ChannelEager, 0) {
+		t.Error("nil plan dropped a message")
+	}
+	if lat, bw := p.LinkFactors(0, 0); lat != 1 || bw != 1 {
+		t.Errorf("nil plan degraded a link: %g, %g", lat, bw)
+	}
+	if f := p.StragglerFactor(0); f != 1 {
+		t.Errorf("nil plan straggled: %g", f)
+	}
+	if _, ok := p.CrashAtNs(0); ok {
+		t.Error("nil plan crashed a rank")
+	}
+}
+
+func TestZeroProbabilitiesInjectNothing(t *testing.T) {
+	p := NewPlan(netmodel.SimCluster(), 64, 7, Profile{Enabled: true})
+	if p == nil {
+		t.Fatal("enabled profile must materialize a plan")
+	}
+	for r := 0; r < 64; r++ {
+		if f := p.StragglerFactor(r); f != 1 {
+			t.Fatalf("rank %d straggles: %g", r, f)
+		}
+		if _, ok := p.CrashAtNs(r); ok {
+			t.Fatalf("rank %d crashes", r)
+		}
+		if lat, bw := p.LinkFactors(r, 12345); lat != 1 || bw != 1 {
+			t.Fatalf("rank %d degraded: %g %g", r, lat, bw)
+		}
+	}
+	for seq := int64(0); seq < 1000; seq++ {
+		if p.Drop(0, 1, seq, ChannelEager, 0) {
+			t.Fatal("zero drop probability dropped a message")
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	prof := enabledProfile()
+	a := NewPlan(netmodel.Hydra(), 128, 42, prof)
+	b := NewPlan(netmodel.Hydra(), 128, 42, prof)
+	if a.Schedule() != b.Schedule() {
+		t.Fatalf("same inputs, different schedules:\n%s\nvs\n%s", a.Schedule(), b.Schedule())
+	}
+	for seq := int64(0); seq < 200; seq++ {
+		for att := 0; att < 3; att++ {
+			if a.Drop(3, 17, seq, ChannelEager, att) != b.Drop(3, 17, seq, ChannelEager, att) {
+				t.Fatalf("drop decision diverged at seq %d attempt %d", seq, att)
+			}
+		}
+	}
+}
+
+func TestPlanVariesWithSeedAndPlatform(t *testing.T) {
+	prof := enabledProfile()
+	base := NewPlan(netmodel.Hydra(), 128, 42, prof)
+	if other := NewPlan(netmodel.Hydra(), 128, 43, prof); other.Schedule() == base.Schedule() {
+		t.Error("different seeds produced identical schedules")
+	}
+	if other := NewPlan(netmodel.Galileo100(), 128, 42, prof); other.Schedule() == base.Schedule() {
+		t.Error("different platforms produced identical schedules")
+	}
+}
+
+func TestDropRateApproximatesProbability(t *testing.T) {
+	p := NewPlan(netmodel.SimCluster(), 16, 9, Profile{Enabled: true, DropProb: 0.2})
+	n, dropped := 20000, 0
+	for seq := 0; seq < n; seq++ {
+		if p.Drop(1, 2, int64(seq), ChannelEager, 0) {
+			dropped++
+		}
+	}
+	got := float64(dropped) / float64(n)
+	if math.Abs(got-0.2) > 0.02 {
+		t.Fatalf("drop rate %.3f, want ~0.2", got)
+	}
+}
+
+func TestSelfMessagesNeverDrop(t *testing.T) {
+	p := NewPlan(netmodel.SimCluster(), 16, 9, Profile{Enabled: true, DropProb: 1})
+	if p.Drop(3, 3, 0, ChannelEager, 0) {
+		t.Fatal("self message dropped")
+	}
+}
+
+func TestRetryDelayBacksOffExponentially(t *testing.T) {
+	p := NewPlan(netmodel.SimCluster(), 4, 1, Profile{
+		Enabled: true, DropProb: 0.5, RetryTimeoutNs: 1000, RetryBackoff: 2, MaxRetries: 3,
+	})
+	if got := p.RetryDelayNs(0); got != 1000 {
+		t.Errorf("attempt 0 delay %d, want 1000", got)
+	}
+	if got := p.RetryDelayNs(2); got != 4000 {
+		t.Errorf("attempt 2 delay %d, want 4000", got)
+	}
+	if got := p.MaxRetries(); got != 3 {
+		t.Errorf("max retries %d, want 3", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := NewPlan(netmodel.SimCluster(), 4, 1, Profile{Enabled: true, DropProb: 0.5})
+	if got := p.MaxRetries(); got != DefaultMaxRetries {
+		t.Errorf("default max retries %d, want %d", got, DefaultMaxRetries)
+	}
+	if got := p.RetryDelayNs(0); got != DefaultRetryTimeoutNs {
+		t.Errorf("default delay %d, want %d", got, DefaultRetryTimeoutNs)
+	}
+	neg := NewPlan(netmodel.SimCluster(), 4, 1, Profile{Enabled: true, DropProb: 0.5, MaxRetries: -1})
+	if got := neg.MaxRetries(); got != 0 {
+		t.Errorf("negative max retries should mean zero, got %d", got)
+	}
+}
+
+func TestDegradationWindowFactors(t *testing.T) {
+	prof := enabledProfile()
+	prof.DegradeProb = 1 // every rank degraded
+	p := NewPlan(netmodel.SimCluster(), 8, 5, prof)
+	found := false
+	for r := 0; r < 8; r++ {
+		w := p.degrade[r]
+		if w.endNs <= w.startNs {
+			t.Fatalf("rank %d has no window despite prob 1", r)
+		}
+		lat, bw := p.LinkFactors(r, w.startNs)
+		if lat == 4 && bw == 0.25 {
+			found = true
+		}
+		if l2, b2 := p.LinkFactors(r, w.endNs); l2 != 1 || b2 != 1 {
+			t.Fatalf("rank %d degraded outside window: %g %g", r, l2, b2)
+		}
+	}
+	if !found {
+		t.Fatal("no rank reported degraded factors inside its window")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"collsel/internal/clocksync"
 	"collsel/internal/coll"
+	"collsel/internal/fault"
 	"collsel/internal/mpi"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
@@ -56,6 +57,14 @@ type Config struct {
 	// expected semantics on every repetition (reduce sums, alltoall
 	// transposition) and fails the run on mismatch.
 	Validate bool
+	// Faults configures deterministic fault injection (message drops with
+	// retransmission, link degradation, stragglers, crashes); the zero
+	// value injects nothing. The schedule is a pure function of (platform,
+	// Procs, Seed), so grid results stay bit-identical at any parallelism.
+	Faults fault.Profile
+	// WatchdogNs aborts the run with a blocked-process diagnostic if the
+	// simulation's virtual time would exceed it; 0 disables the watchdog.
+	WatchdogNs int64
 }
 
 // RepMetrics holds the metrics of one repetition, in nanoseconds on the
@@ -78,6 +87,10 @@ type Result struct {
 	LastDelay  stats.Summary
 	// MaxSkewNs is the pattern's maximum skew actually applied.
 	MaxSkewNs int64
+	// Retransmits and Drops count the fault-injection traffic over the whole
+	// run (all repetitions); both are 0 without fault injection.
+	Retransmits int64
+	Drops       int64
 }
 
 // MsgBytes returns the wire size of the benchmarked message.
@@ -122,6 +135,8 @@ func Run(cfg Config) (Result, error) {
 		Seed:          cfg.Seed,
 		PerfectClocks: cfg.PerfectClocks,
 		NoNoise:       cfg.NoNoise,
+		Fault:         cfg.Faults,
+		DeadlineNs:    cfg.WatchdogNs,
 	})
 	if err != nil {
 		return Result{}, err
@@ -175,12 +190,14 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		Algorithm: cfg.Algorithm,
-		Pattern:   patName,
-		Count:     cfg.Count,
-		ElemSize:  cfg.ElemSize,
-		Procs:     cfg.Procs,
-		MaxSkewNs: cfg.Pattern.MaxSkewNs(),
+		Algorithm:   cfg.Algorithm,
+		Pattern:     patName,
+		Count:       cfg.Count,
+		ElemSize:    cfg.ElemSize,
+		Procs:       cfg.Procs,
+		MaxSkewNs:   cfg.Pattern.MaxSkewNs(),
+		Retransmits: w.RetransmitCount(),
+		Drops:       w.DropCount(),
 	}
 	for rep := cfg.Warmup; rep < total; rep++ {
 		minA, maxA := math.Inf(1), math.Inf(-1)

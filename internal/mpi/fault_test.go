@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"collsel/internal/fault"
+	"collsel/internal/netmodel"
+	"collsel/internal/sim"
+)
+
+// lossy returns a config with the given drop probability on a small
+// deterministic platform.
+func lossy(size int, seed int64, prof fault.Profile) Config {
+	return Config{
+		Platform: netmodel.SimCluster(),
+		Size:     size,
+		Seed:     seed,
+		Fault:    prof,
+	}
+}
+
+// TestRetransmissionDeliversUnderDrops: with a moderate drop rate and a
+// generous retry budget, every message still arrives intact and the run
+// terminates; retransmissions are observable in the counters.
+func TestRetransmissionDeliversUnderDrops(t *testing.T) {
+	for _, bytes := range []int{64, 64 * 1024} { // eager and rendezvous
+		w, err := NewWorld(lossy(8, 3, fault.Profile{
+			Enabled: true, DropProb: 0.3, MaxRetries: 40,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]float64, 8)
+		runErr := w.Run(func(r *Rank) {
+			// Ring exchange: rank i sends its payload to i+1.
+			next := (r.ID() + 1) % r.Size()
+			prev := (r.ID() + r.Size() - 1) % r.Size()
+			payload := []float64{float64(r.ID())}
+			m := r.Sendrecv(next, 7, payload, bytes, prev, 7)
+			got[r.ID()] = m.Data
+		})
+		if runErr != nil {
+			t.Fatalf("bytes=%d: run failed: %v", bytes, runErr)
+		}
+		for i := 0; i < 8; i++ {
+			prev := (i + 8 - 1) % 8
+			if len(got[i]) != 1 || got[i][0] != float64(prev) {
+				t.Fatalf("bytes=%d: rank %d received %v, want [%d]", bytes, i, got[i], prev)
+			}
+		}
+		if w.RetransmitCount() == 0 {
+			t.Errorf("bytes=%d: expected retransmissions at 30%% drop rate", bytes)
+		}
+		if w.DropCount() < w.RetransmitCount() {
+			t.Errorf("bytes=%d: drops %d < retransmits %d", bytes, w.DropCount(), w.RetransmitCount())
+		}
+	}
+}
+
+// TestExhaustedRetriesSurfaceFaultError: a fully lossy link with no retries
+// must fail fast with a typed FaultError, not a kernel deadlock.
+func TestExhaustedRetriesSurfaceFaultError(t *testing.T) {
+	w, err := NewWorld(lossy(2, 1, fault.Profile{
+		Enabled: true, DropProb: 1, MaxRetries: 2,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{1}, 64)
+		} else {
+			r.Recv(0, 1)
+		}
+	})
+	var fe *FaultError
+	if !errors.As(runErr, &fe) {
+		t.Fatalf("got %T (%v), want *FaultError", runErr, runErr)
+	}
+	if fe.Kind != FaultRetriesExhausted {
+		t.Errorf("kind %v, want retries exhausted", fe.Kind)
+	}
+	if fe.Rank != 0 || fe.Peer != 1 {
+		t.Errorf("fault names %d->%d, want 0->1", fe.Rank, fe.Peer)
+	}
+	if fe.Attempts != 3 { // initial + 2 retries
+		t.Errorf("attempts %d, want 3", fe.Attempts)
+	}
+}
+
+// TestCrashSurfacesFaultError: a scheduled rank crash aborts the run with a
+// typed crash FaultError.
+func TestCrashSurfacesFaultError(t *testing.T) {
+	w, err := NewWorld(lossy(4, 11, fault.Profile{
+		Enabled: true, CrashProb: 1, CrashMaxNs: 1000,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := w.Run(func(r *Rank) {
+		r.SleepNs(1_000_000) // crashes fire long before this elapses
+	})
+	var fe *FaultError
+	if !errors.As(runErr, &fe) {
+		t.Fatalf("got %T (%v), want *FaultError", runErr, runErr)
+	}
+	if fe.Kind != FaultCrash {
+		t.Errorf("kind %v, want crash", fe.Kind)
+	}
+}
+
+// TestZeroProfileBitIdentical: an enabled profile with all probabilities
+// zero must produce exactly the timing of a fault-free world.
+func TestZeroProfileBitIdentical(t *testing.T) {
+	run := func(prof fault.Profile) (sim.Time, int64, int64) {
+		w, err := NewWorld(Config{Platform: netmodel.Hydra(), Size: 16, Seed: 5, Fault: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runErr := w.Run(func(r *Rank) {
+			for i := 0; i < 3; i++ {
+				next := (r.ID() + 1) % r.Size()
+				prev := (r.ID() + r.Size() - 1) % r.Size()
+				r.Sendrecv(next, 100+i, []float64{1}, 32*1024, prev, 100+i)
+				r.Compute(10_000)
+			}
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return w.K.Now(), w.MessageCount(), w.ByteCount()
+	}
+	t0, m0, b0 := run(fault.Profile{})
+	t1, m1, b1 := run(fault.Profile{Enabled: true})
+	if t0 != t1 || m0 != m1 || b0 != b1 {
+		t.Fatalf("zero-fault plan diverged: t=%d/%d msgs=%d/%d bytes=%d/%d", t0, t1, m0, m1, b0, b1)
+	}
+}
+
+// TestFaultDeterminism: identical configs produce identical virtual end
+// times and retransmission counts.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64) {
+		w, err := NewWorld(lossy(8, 21, fault.Profile{
+			Enabled: true, DropProb: 0.25, MaxRetries: 50,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runErr := w.Run(func(r *Rank) {
+			for i := 0; i < 4; i++ {
+				next := (r.ID() + 1) % r.Size()
+				prev := (r.ID() + r.Size() - 1) % r.Size()
+				r.Sendrecv(next, 10+i, []float64{float64(i)}, 256, prev, 10+i)
+			}
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return w.K.Now(), w.RetransmitCount()
+	}
+	t0, r0 := run()
+	t1, r1 := run()
+	if t0 != t1 || r0 != r1 {
+		t.Fatalf("fault runs diverged: t=%d/%d retransmits=%d/%d", t0, t1, r0, r1)
+	}
+}
+
+// TestWatchdogOnWorld: a deadline-armed world reports a DeadlineError with
+// the blocked ranks named.
+func TestWatchdogOnWorld(t *testing.T) {
+	cfg := lossy(2, 1, fault.Profile{})
+	cfg.DeadlineNs = 1_000
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := w.Run(func(r *Rank) {
+		for {
+			r.SleepNs(700)
+		}
+	})
+	var de *sim.DeadlineError
+	if !errors.As(runErr, &de) {
+		t.Fatalf("got %T (%v), want *sim.DeadlineError", runErr, runErr)
+	}
+	if len(de.Blocked) != 2 {
+		t.Errorf("blocked %v, want both ranks listed", de.Blocked)
+	}
+}

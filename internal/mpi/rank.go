@@ -120,10 +120,15 @@ func (r *Rank) SyncClock(cfg clocksync.HCAConfig) {
 }
 
 // Compute advances this rank through nominalNs nanoseconds of computation,
-// inflated by the machine's noise model (static imbalance + OS jitter).
+// inflated by the machine's noise model (static imbalance + OS jitter) and,
+// when fault injection marks this rank a straggler, by the fault plan's
+// straggler factor.
 func (r *Rank) Compute(nominalNs int64) {
 	if nominalNs <= 0 {
 		return
+	}
+	if f := r.w.fault.StragglerFactor(r.id); f != 1 {
+		nominalNs = int64(float64(nominalNs) * f)
 	}
 	r.curProc().Sleep(r.w.noise.ComputeNs(r.id, nominalNs))
 }

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 
+	"collsel/internal/fault"
+	"collsel/internal/netmodel"
 	"collsel/internal/sim"
 )
 
@@ -169,30 +171,87 @@ func (r *Rank) Isend(dst, tag int, data []float64, bytes int) *Request {
 	return req
 }
 
+// linkFor returns the link between two ranks with any transient fault-plan
+// degradation (latency/bandwidth multipliers) applied at the current
+// virtual time. Without a fault plan it is exactly plat.LinkFor.
+func (w *World) linkFor(src, dst int) netmodel.Link {
+	l := w.plat.LinkFor(src, dst)
+	if w.fault != nil {
+		lat, bw := w.fault.LinkFactors(src, w.K.Now())
+		if lat != 1 {
+			l.LatencyNs = int64(float64(l.LatencyNs) * lat)
+		}
+		if bw != 1 {
+			l.BandwidthBps *= bw
+		}
+	}
+	return l
+}
+
+// retryOrFail handles a dropped transmission attempt: it schedules a
+// retransmission after the plan's backoff delay, or — once the retry cap is
+// exhausted — fails the simulation with a typed *FaultError at the moment
+// the loss would have been detected, instead of letting the receiver
+// deadlock. sentAt is when the dropped attempt left the sender port.
+func (w *World) retryOrFail(m *inMsg, attempt int, sentAt sim.Time, resend func(next int)) {
+	w.drops++
+	if attempt >= w.fault.MaxRetries() {
+		w.K.At(sentAt, func() {
+			w.K.Fail(&FaultError{
+				Kind: FaultRetriesExhausted, Rank: m.src, Peer: m.dst,
+				Attempts: attempt + 1, AtNs: sentAt,
+			})
+		})
+		return
+	}
+	w.retransmits++
+	w.K.At(sentAt+w.fault.RetryDelayNs(attempt), func() { resend(attempt + 1) })
+}
+
 // startEager pushes the message through the sender port immediately; the
 // send request completes when the last byte leaves the port.
-func (r *Rank) startEager(m *inMsg) {
+func (r *Rank) startEager(m *inMsg) { r.sendEager(m, 0) }
+
+// sendEager models one eager transmission attempt. The fault plan may drop
+// the payload on the wire; the sender then retransmits after a backoff
+// (the send request still completes at the first attempt's port drain, as
+// the buffer has been handed to the NIC).
+func (r *Rank) sendEager(m *inMsg, attempt int) {
 	w := r.w
-	link := w.plat.LinkFor(m.src, m.dst)
+	link := w.linkFor(m.src, m.dst)
 	start := maxTime(w.K.Now(), r.sendBusyUntil)
 	sendDone := start + w.plat.OverheadNs + link.TransferNs(m.bytes)
 	r.sendBusyUntil = sendDone
 	lat := w.noise.LatencyNs(m.src, link.LatencyNs)
 	firstByteAt := start + w.plat.OverheadNs + lat
 
-	w.K.At(sendDone, func() { m.sendReq.complete() })
+	if attempt == 0 {
+		w.K.At(sendDone, func() { m.sendReq.complete() })
+	}
+	if w.fault.Drop(m.src, m.dst, m.pseq, fault.ChannelEager, attempt) {
+		w.retryOrFail(m, attempt, sendDone, func(next int) { r.sendEager(m, next) })
+		return
+	}
 	w.K.At(firstByteAt, func() { w.arriveAtPort(m, link.TransferNs(m.bytes)) })
 }
 
 // startRendezvous sends a zero-byte RTS; data moves once the receiver has a
 // matching posted receive (handled in matchArrival / Irecv).
-func (r *Rank) startRendezvous(m *inMsg) {
+func (r *Rank) startRendezvous(m *inMsg) { r.sendRTS(m, 0) }
+
+// sendRTS models one RTS transmission attempt; a dropped envelope is
+// retransmitted like an eager payload.
+func (r *Rank) sendRTS(m *inMsg, attempt int) {
 	w := r.w
-	link := w.plat.LinkFor(m.src, m.dst)
+	link := w.linkFor(m.src, m.dst)
 	start := maxTime(w.K.Now(), r.sendBusyUntil)
 	rtsOut := start + w.plat.OverheadNs
 	r.sendBusyUntil = rtsOut
 	lat := w.noise.LatencyNs(m.src, link.LatencyNs)
+	if w.fault.Drop(m.src, m.dst, m.pseq, fault.ChannelRTS, attempt) {
+		w.retryOrFail(m, attempt, rtsOut, func(next int) { r.sendRTS(m, next) })
+		return
+	}
 	rts := &inMsg{src: m.src, dst: m.dst, tag: m.tag, bytes: m.bytes, seq: m.seq, pseq: m.pseq, rndv: true, sendReq: m.sendReq, data: m.data}
 	w.K.At(rtsOut+lat, func() { w.deliverPayload(rts) })
 }
@@ -200,29 +259,42 @@ func (r *Rank) startRendezvous(m *inMsg) {
 // releaseRendezvous is called on the receiver when a posted receive matches
 // an RTS: it models the CTS control message back to the sender and then the
 // actual data transfer. It returns the receive-side request completion via
-// the normal arrival path.
+// the normal arrival path. The CTS is modelled as reliable (a tiny control
+// message on the reserved return path); the bulk data transfer is subject
+// to drops and retransmission.
 func (w *World) releaseRendezvous(rts *inMsg, recvReq *Request) {
 	src, dst := rts.src, rts.dst
-	receiver, sender := w.ranks[dst], w.ranks[src]
-	link := w.plat.LinkFor(dst, src)
+	receiver := w.ranks[dst]
+	link := w.linkFor(dst, src)
 	// CTS: occupies the receiver's send port for the overhead only.
 	start := maxTime(w.K.Now(), receiver.sendBusyUntil)
 	ctsOut := start + w.plat.OverheadNs
 	receiver.sendBusyUntil = ctsOut
 	lat := w.noise.LatencyNs(dst, link.LatencyNs)
-	w.K.At(ctsOut+lat, func() {
-		// Data transfer from the sender port, as in the eager path.
-		dlink := w.plat.LinkFor(src, dst)
-		s := maxTime(w.K.Now(), sender.sendBusyUntil)
-		sendDone := s + w.plat.OverheadNs + dlink.TransferNs(rts.bytes)
-		sender.sendBusyUntil = sendDone
-		dlat := w.noise.LatencyNs(src, dlink.LatencyNs)
-		firstByteAt := s + w.plat.OverheadNs + dlat
+	w.K.At(ctsOut+lat, func() { w.sendRendezvousData(rts, recvReq, 0) })
+}
+
+// sendRendezvousData models one post-CTS bulk transfer attempt from the
+// sender port, as in the eager path.
+func (w *World) sendRendezvousData(rts *inMsg, recvReq *Request, attempt int) {
+	src, dst := rts.src, rts.dst
+	sender := w.ranks[src]
+	dlink := w.linkFor(src, dst)
+	s := maxTime(w.K.Now(), sender.sendBusyUntil)
+	sendDone := s + w.plat.OverheadNs + dlink.TransferNs(rts.bytes)
+	sender.sendBusyUntil = sendDone
+	dlat := w.noise.LatencyNs(src, dlink.LatencyNs)
+	firstByteAt := s + w.plat.OverheadNs + dlat
+	if attempt == 0 {
 		w.K.At(sendDone, func() { rts.sendReq.complete() })
-		data := &inMsg{src: src, dst: dst, tag: rts.tag, data: rts.data, bytes: rts.bytes, seq: rts.seq}
-		w.K.At(firstByteAt, func() {
-			w.arriveToRequest(data, recvReq, dlink.TransferNs(rts.bytes))
-		})
+	}
+	if w.fault.Drop(src, dst, rts.pseq, fault.ChannelData, attempt) {
+		w.retryOrFail(rts, attempt, sendDone, func(next int) { w.sendRendezvousData(rts, recvReq, next) })
+		return
+	}
+	data := &inMsg{src: src, dst: dst, tag: rts.tag, data: rts.data, bytes: rts.bytes, seq: rts.seq}
+	w.K.At(firstByteAt, func() {
+		w.arriveToRequest(data, recvReq, dlink.TransferNs(rts.bytes))
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"collsel/internal/clocksync"
+	"collsel/internal/fault"
 	"collsel/internal/netmodel"
 	"collsel/internal/noise"
 	"collsel/internal/sim"
@@ -27,6 +28,7 @@ type World struct {
 	plat   *netmodel.Platform
 	noise  *noise.Model
 	clocks *clocksync.Ensemble
+	fault  *fault.Plan // nil = no fault injection
 	ranks  []*Rank
 	size   int
 	msgSeq int64
@@ -34,6 +36,8 @@ type World struct {
 	// stats
 	totalMessages int64
 	totalBytes    int64
+	retransmits   int64
+	drops         int64
 }
 
 // Config controls world construction.
@@ -50,6 +54,14 @@ type Config struct {
 	PerfectClocks bool
 	// NoNoise forces the noise model off for this world.
 	NoNoise bool
+	// Fault declares the deterministic fault-injection profile; the zero
+	// value injects nothing. The materialized schedule is a pure function
+	// of (platform fingerprint, Size, Seed), like the noise model.
+	Fault fault.Profile
+	// DeadlineNs arms a virtual-time watchdog: the simulation aborts with a
+	// diagnostic listing every blocked process if it would run past this
+	// virtual time. 0 disables the watchdog.
+	DeadlineNs int64
 }
 
 // NewWorld creates a world of cfg.Size ranks.
@@ -78,6 +90,10 @@ func NewWorld(cfg Config) (*World, error) {
 		w.clocks = clocksync.PerfectEnsemble(cfg.Size)
 	} else {
 		w.clocks = clocksync.NewEnsemble(p.Clock, cfg.Size, cfg.Seed)
+	}
+	w.fault = fault.NewPlan(p, cfg.Size, cfg.Seed, cfg.Fault)
+	if cfg.DeadlineNs > 0 {
+		w.K.SetDeadline(cfg.DeadlineNs)
 	}
 	w.ranks = make([]*Rank, cfg.Size)
 	for i := 0; i < cfg.Size; i++ {
@@ -110,10 +126,33 @@ func (w *World) MessageCount() int64 { return w.totalMessages }
 // ByteCount returns the total payload bytes delivered so far.
 func (w *World) ByteCount() int64 { return w.totalBytes }
 
+// RetransmitCount returns the number of message retransmissions scheduled
+// by the fault-injection layer so far.
+func (w *World) RetransmitCount() int64 { return w.retransmits }
+
+// DropCount returns the number of transmission attempts lost to fault
+// injection so far (each drop either triggers a retransmission or, once
+// retries are exhausted, a FaultError).
+func (w *World) DropCount() int64 { return w.drops }
+
+// FaultPlan returns the world's materialized fault schedule (nil when fault
+// injection is disabled).
+func (w *World) FaultPlan() *fault.Plan { return w.fault }
+
 // Run spawns one process per rank executing main and runs the simulation to
 // completion. It returns an error on deadlock or if any rank panicked via
 // Fail. Run may be called once per World.
 func (w *World) Run(main func(r *Rank)) error {
+	if w.fault != nil {
+		for i := 0; i < w.size; i++ {
+			if at, ok := w.fault.CrashAtNs(i); ok {
+				rank := i
+				w.K.At(at, func() {
+					w.K.Fail(&FaultError{Kind: FaultCrash, Rank: rank, Peer: -1, AtNs: at})
+				})
+			}
+		}
+	}
 	for i := 0; i < w.size; i++ {
 		r := w.ranks[i]
 		w.K.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
@@ -122,4 +161,51 @@ func (w *World) Run(main func(r *Rank)) error {
 		})
 	}
 	return w.K.Run()
+}
+
+// --- fault surface -----------------------------------------------------------
+
+// FaultKind classifies an injected failure.
+type FaultKind int
+
+const (
+	// FaultRetriesExhausted: a message was dropped on every transmission
+	// attempt, including all retransmissions.
+	FaultRetriesExhausted FaultKind = iota
+	// FaultCrash: a rank hit its scheduled crash time.
+	FaultCrash
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultRetriesExhausted:
+		return "retries exhausted"
+	case FaultCrash:
+		return "rank crash"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultError is the typed failure surfaced when injected faults defeat the
+// transport's resilience: retransmission caps exhausted, or a scheduled
+// rank crash. Simulations fail fast with this error instead of deadlocking.
+type FaultError struct {
+	Kind FaultKind
+	// Rank is the crashed rank, or the sender of the undeliverable message.
+	Rank int
+	// Peer is the receiver of the undeliverable message; -1 for crashes.
+	Peer int
+	// Attempts is the number of transmission attempts made (message faults).
+	Attempts int
+	// AtNs is the virtual time of the failure.
+	AtNs int64
+}
+
+func (e *FaultError) Error() string {
+	if e.Kind == FaultCrash {
+		return fmt.Sprintf("mpi: fault: rank %d crashed at t=%d ns", e.Rank, e.AtNs)
+	}
+	return fmt.Sprintf("mpi: fault: message %d->%d undeliverable after %d attempts at t=%d ns",
+		e.Rank, e.Peer, e.Attempts, e.AtNs)
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"container/list"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -19,13 +20,14 @@ import (
 // fresh *Platform per call) still share cache entries.
 func CellKey(cfg microbench.Config) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "pl=%s|n=%d|coll=%v|alg=%d:%s|cnt=%d|es=%d|root=%d|pat=%s|reps=%d|warm=%d|seed=%d|pc=%t|nn=%t|val=%t",
+	fmt.Fprintf(&b, "pl=%s|n=%d|coll=%v|alg=%d:%s|cnt=%d|es=%d|root=%d|pat=%s|reps=%d|warm=%d|seed=%d|pc=%t|nn=%t|val=%t|flt=%+v|wd=%d",
 		platformKey(cfg.Platform), cfg.Procs,
 		cfg.Algorithm.Coll, cfg.Algorithm.ID, cfg.Algorithm.Name,
 		cfg.Count, cfg.ElemSize, cfg.Root,
 		patternKey(cfg.Pattern),
 		cfg.Reps, cfg.Warmup, cfg.Seed,
-		cfg.PerfectClocks, cfg.NoNoise, cfg.Validate)
+		cfg.PerfectClocks, cfg.NoNoise, cfg.Validate,
+		cfg.Faults, cfg.WatchdogNs)
 	return b.String()
 }
 
@@ -62,36 +64,60 @@ func patternKey(p pattern.Pattern) string {
 // Cache memoizes finished cells by CellKey. It is safe for concurrent use
 // and coalesces duplicate in-flight cells: the second requester of a key
 // blocks until the first finishes instead of simulating again.
+//
+// An optional capacity (NewCacheLRU) bounds memory: when the number of
+// entries exceeds the cap, least-recently-used *completed* entries are
+// evicted. In-flight entries are never evicted, so coalescing is preserved
+// even under memory pressure.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	hits    int64
-	misses  int64
+	// order lists keys from most- to least-recently used; only maintained
+	// when max > 0.
+	order     *list.List
+	max       int
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
 	ready chan struct{} // closed when res/err are populated
 	res   microbench.Result
 	err   error
+	elem  *list.Element // position in order; nil when the cache is unbounded
 }
 
-// NewCache creates an empty cache.
+// NewCache creates an empty unbounded cache.
 func NewCache() *Cache {
 	return &Cache{entries: map[string]*cacheEntry{}}
 }
 
+// NewCacheLRU creates an empty cache holding at most max completed entries;
+// max <= 0 means unbounded (same as NewCache).
+func NewCacheLRU(max int) *Cache {
+	c := NewCache()
+	if max > 0 {
+		c.max = max
+		c.order = list.New()
+	}
+	return c
+}
+
 // CacheStats counts cache traffic. Misses equals the number of simulations
-// actually executed through the cache.
+// actually executed through the cache; Evictions counts completed entries
+// dropped by the LRU cap (always 0 for unbounded caches).
 type CacheStats struct {
-	Hits   int64
-	Misses int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }
 
 // Len returns the number of memoized cells (including in-flight ones).
@@ -107,7 +133,10 @@ func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[string]*cacheEntry{}
-	c.hits, c.misses = 0, 0
+	if c.order != nil {
+		c.order = list.New()
+	}
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // do returns the memoized result for key, running run exactly once per key.
@@ -117,16 +146,50 @@ func (c *Cache) do(key string, run func() (microbench.Result, error)) (res micro
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if c.order != nil && e.elem != nil {
+			c.order.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		<-e.ready
 		return e.res, e.err, true
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
+	if c.order != nil {
+		e.elem = c.order.PushFront(key)
+	}
 	c.misses++
 	c.mu.Unlock()
 
 	e.res, e.err = run()
+
+	c.mu.Lock()
 	close(e.ready)
+	c.evictLocked()
+	c.mu.Unlock()
 	return e.res, e.err, false
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its cap. In-flight entries (ready not yet closed) are skipped: they
+// are both unevictable (a waiter may be coalesced onto them) and bounded in
+// number by the worker pool size.
+func (c *Cache) evictLocked() {
+	if c.order == nil {
+		return
+	}
+	for elem := c.order.Back(); elem != nil && len(c.entries) > c.max; {
+		key := elem.Value.(string)
+		prev := elem.Prev()
+		e := c.entries[key]
+		select {
+		case <-e.ready:
+			c.order.Remove(elem)
+			delete(c.entries, key)
+			c.evictions++
+		default:
+			// In flight; try the next-oldest entry.
+		}
+		elem = prev
+	}
 }

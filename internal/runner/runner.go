@@ -138,6 +138,23 @@ func (e *Engine) Cache() *Cache { return e.cache }
 //
 // Per-call opts override the engine's configuration for this call only.
 func (e *Engine) Map(ctx context.Context, cells []Cell, opts ...Option) ([]microbench.Result, error) {
+	results, cellErrs, err := e.MapAll(ctx, cells, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(cellErrs) > 0 {
+		return nil, cellErrs[0]
+	}
+	return results, nil
+}
+
+// MapAll evaluates every cell like Map but keeps going past failures:
+// instead of aborting on the first failed cell it records each failure as a
+// *CellError (ascending by index) and returns the successful results with
+// zero-value Results at the failed indices. The non-nil error return is
+// reserved for context cancellation; everything else is reported per cell.
+// Like Map, the output is independent of worker count.
+func (e *Engine) MapAll(ctx context.Context, cells []Cell, opts ...Option) ([]microbench.Result, []*CellError, error) {
 	run := *e
 	for _, o := range opts {
 		o(&run)
@@ -145,7 +162,7 @@ func (e *Engine) Map(ctx context.Context, cells []Cell, opts ...Option) ([]micro
 	n := len(cells)
 	results := make([]microbench.Result, n)
 	if n == 0 {
-		return results, ctx.Err()
+		return results, nil, ctx.Err()
 	}
 	errs := make([]error, n)
 	workers := run.Workers()
@@ -190,16 +207,17 @@ func (e *Engine) Map(ctx context.Context, cells []Cell, opts ...Option) ([]micro
 	close(idx)
 	wg.Wait()
 
+	var cellErrs []*CellError
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, &CellError{Index: i, Label: cells[i].Label, Err: err}
+		cellErrs = append(cellErrs, &CellError{Index: i, Label: cells[i].Label, Err: err})
 	}
-	return results, nil
+	return results, cellErrs, nil
 }
 
 // eval runs one cell, through the cache when one is installed.

@@ -205,3 +205,75 @@ func TestSeedDerivationMatchesLegacySerialScheme(t *testing.T) {
 		t.Errorf("PatternSeed(42,5) = %d, want 47", got)
 	}
 }
+
+func TestMapAllRecordsEveryFailure(t *testing.T) {
+	cells := testCells(t, 6)
+	// Break cells 1 and 4 (nil platform fails fast in microbench.Run).
+	cells[1].Config.Platform = nil
+	cells[4].Config.Platform = nil
+	eng := New(WithWorkers(3))
+	results, cellErrs, err := eng.MapAll(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	if len(cellErrs) != 2 || cellErrs[0].Index != 1 || cellErrs[1].Index != 4 {
+		t.Fatalf("cell errors %v, want indices 1 and 4", cellErrs)
+	}
+	for _, i := range []int{0, 2, 3, 5} {
+		if results[i].Procs != 8 {
+			t.Errorf("surviving cell %d has empty result", i)
+		}
+	}
+	for _, i := range []int{1, 4} {
+		if results[i].Procs != 0 {
+			t.Errorf("failed cell %d has non-zero result", i)
+		}
+	}
+}
+
+func TestCacheLRUEvicts(t *testing.T) {
+	cells := testCells(t, 8)
+	c := NewCacheLRU(3)
+	eng := New(WithWorkers(1), WithCache(c))
+	if _, err := eng.Map(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got > 3 {
+		t.Errorf("cache holds %d entries, cap is 3", got)
+	}
+	st := c.Stats()
+	if st.Evictions != 5 {
+		t.Errorf("evictions = %d, want 5", st.Evictions)
+	}
+	if st.Misses != 8 || st.Hits != 0 {
+		t.Errorf("stats %+v, want 8 misses, 0 hits", st)
+	}
+	// The three most recent cells are retained: re-running them is all hits.
+	if _, err := eng.Map(context.Background(), cells[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.Stats(); st.Hits != 3 {
+		t.Errorf("hits = %d, want 3 (retained tail)", st.Hits)
+	}
+	// An evicted cell re-simulates (and evicts the now-oldest entry).
+	if _, err := eng.Map(context.Background(), cells[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.Stats(); st.Misses != 9 || st.Evictions != 6 {
+		t.Errorf("stats %+v, want 9 misses and 6 evictions", st)
+	}
+}
+
+func TestCacheLRUUnboundedWhenCapZero(t *testing.T) {
+	c := NewCacheLRU(0)
+	eng := New(WithWorkers(2), WithCache(c))
+	if _, err := eng.Map(context.Background(), testCells(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 || c.Stats().Evictions != 0 {
+		t.Errorf("len=%d evictions=%d, want 5 and 0", c.Len(), c.Stats().Evictions)
+	}
+}

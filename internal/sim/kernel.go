@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Time is virtual simulation time in nanoseconds.
@@ -99,6 +100,10 @@ type Kernel struct {
 
 	running bool
 	failure error
+
+	// deadline, when > 0, is the virtual-time watchdog: advancing past it
+	// aborts the run with a DeadlineError (see SetDeadline).
+	deadline Time
 }
 
 // NewKernel creates an empty simulation.
@@ -268,6 +273,13 @@ func (k *Kernel) Run() error {
 			break
 		}
 		e := heap.Pop(&k.events).(*event)
+		if k.deadline > 0 && e.at > k.deadline {
+			return &DeadlineError{
+				DeadlineNs:  k.deadline,
+				NextEventNs: e.at,
+				Blocked:     k.blockedSummary(),
+			}
+		}
 		if e.at > k.now {
 			k.now = e.at
 		}
@@ -290,7 +302,33 @@ func (k *Kernel) Fail(err error) {
 	}
 }
 
-func (k *Kernel) deadlockError() error {
+// SetDeadline installs a virtual-time watchdog: if the kernel would advance
+// past absolute virtual time t, Run aborts with a *DeadlineError whose
+// diagnostic lists every blocked process and its block reason. A deadline
+// of 0 (the default) disables the watchdog. The watchdog catches runaway
+// simulations — e.g. unbounded retransmission storms — that would otherwise
+// run, or block, forever.
+func (k *Kernel) SetDeadline(t Time) { k.deadline = t }
+
+// DeadlineError reports a watchdog abort: the next scheduled event lay
+// beyond the deadline set via SetDeadline.
+type DeadlineError struct {
+	// DeadlineNs is the configured virtual-time deadline.
+	DeadlineNs Time
+	// NextEventNs is the timestamp of the event that would have crossed it.
+	NextEventNs Time
+	// Blocked lists every blocked process as "name[id]: reason".
+	Blocked []string
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: watchdog: next event at t=%d ns exceeds deadline %d ns; %d process(es) blocked: %s",
+		e.NextEventNs, e.DeadlineNs, len(e.Blocked), summarize(e.Blocked))
+}
+
+// blockedSummary lists every blocked process as "name[id]: reason", sorted
+// for stable diagnostics.
+func (k *Kernel) blockedSummary() []string {
 	var stuck []string
 	for _, p := range k.procs {
 		if p.state == stateBlocked {
@@ -298,9 +336,25 @@ func (k *Kernel) deadlockError() error {
 		}
 	}
 	sort.Strings(stuck)
-	limit := stuck
-	if len(limit) > 8 {
-		limit = limit[:8]
+	return stuck
+}
+
+// summaryLimit bounds how many blocked processes a diagnostic spells out;
+// the rest are folded into a "(+N more)" suffix so errors from thousand-rank
+// simulations stay readable.
+const summaryLimit = 16
+
+func summarize(stuck []string) string {
+	shown := stuck
+	suffix := ""
+	if len(shown) > summaryLimit {
+		shown = shown[:summaryLimit]
+		suffix = fmt.Sprintf(" (+%d more)", len(stuck)-summaryLimit)
 	}
-	return fmt.Errorf("sim: deadlock at t=%d ns, %d process(es) blocked: %v", k.now, len(stuck), limit)
+	return "[" + strings.Join(shown, ", ") + "]" + suffix
+}
+
+func (k *Kernel) deadlockError() error {
+	stuck := k.blockedSummary()
+	return fmt.Errorf("sim: deadlock at t=%d ns, %d process(es) blocked: %s", k.now, len(stuck), summarize(stuck))
 }

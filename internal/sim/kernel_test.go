@@ -376,3 +376,91 @@ func containsStr(s, sub string) bool {
 		return false
 	})()
 }
+
+func TestDeadlockDiagnosticNamesEveryBlockedProcess(t *testing.T) {
+	k := NewKernel()
+	var c1, c2 Cond
+	k.Spawn("alpha", func(p *Proc) { c1.Wait(p, "waiting-on-alpha-cond") })
+	k.Spawn("beta", func(p *Proc) { c2.Wait(p, "waiting-on-beta-cond") })
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	for _, want := range []string{"alpha[0]", "beta[1]", "waiting-on-alpha-cond", "waiting-on-beta-cond"} {
+		if !containsStr(err.Error(), want) {
+			t.Errorf("deadlock error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDeadlockDiagnosticFoldsLongLists(t *testing.T) {
+	k := NewKernel()
+	conds := make([]Cond, 20)
+	for i := range conds {
+		c := &conds[i]
+		k.Spawn(fmt.Sprintf("proc%02d", i), func(p *Proc) { c.Wait(p, "stuck") })
+	}
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !containsStr(err.Error(), "20 process(es) blocked") {
+		t.Errorf("error %q does not report the blocked count", err)
+	}
+	if !containsStr(err.Error(), "(+4 more)") {
+		t.Errorf("error %q does not fold the overflow", err)
+	}
+}
+
+func TestSetDeadlineAbortsRunawaySimulation(t *testing.T) {
+	k := NewKernel()
+	k.SetDeadline(1_000)
+	k.Spawn("runaway", func(p *Proc) {
+		for {
+			p.Sleep(600) // keeps scheduling events past the deadline
+		}
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected watchdog error")
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %T (%v), want *DeadlineError", err, err)
+	}
+	if de.DeadlineNs != 1_000 || de.NextEventNs <= 1_000 {
+		t.Errorf("deadline %d next %d, want deadline 1000 and next > 1000", de.DeadlineNs, de.NextEventNs)
+	}
+	if !containsStr(err.Error(), "runaway[0]") || !containsStr(err.Error(), "sleep(600)") {
+		t.Errorf("watchdog error %q does not name the blocked process and reason", err)
+	}
+}
+
+func TestDeadlineNotHitWhenSimulationFinishesInTime(t *testing.T) {
+	k := NewKernel()
+	k.SetDeadline(10_000)
+	done := false
+	k.Spawn("quick", func(p *Proc) {
+		p.Sleep(500)
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !done {
+		t.Fatal("process did not finish")
+	}
+}
+
+func TestEventExactlyAtDeadlineStillRuns(t *testing.T) {
+	k := NewKernel()
+	k.SetDeadline(1_000)
+	fired := false
+	k.At(1_000, func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !fired {
+		t.Fatal("event at the deadline must still run")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz tools clean
+.PHONY: all build vet test race bench bench-json check fuzz tools clean
 
 all: check
 
@@ -19,6 +19,14 @@ race:
 # Regenerate every table/figure benchmark once (laptop scale).
 bench:
 	$(GO) test -bench=. -benchtime 1x .
+
+# Machine-readable selection + serving benchmarks: the end-to-end selection
+# cost and the decision-table hot path it amortizes (hot lookup, loopback
+# HTTP, cold fall-through, hot path under /reload).
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx' \
+		-benchtime 1x -json . ./internal/serve > BENCH_select.json
 
 # Tier-1 verification: what every change must keep green.
 check: build vet test race

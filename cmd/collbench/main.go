@@ -10,14 +10,11 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 
 	"collsel/internal/cliutil"
-	"collsel/internal/coll"
 	"collsel/internal/expt"
 )
 
@@ -32,27 +29,23 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
-	c, ok := coll.CollectiveByName(*collName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "collbench: unknown collective %q\n", *collName)
-		os.Exit(2)
+	c, err := cliutil.Collective(*collName)
+	if err != nil {
+		cliutil.Usage("collbench", err)
 	}
 	pl, err := cliutil.Machine(*machine)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("collbench", err)
 	}
 	if err := cliutil.CheckProcs(*procs, pl); err != nil {
-		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("collbench", err)
 	}
 	msgSizes, err := cliutil.ParseSizes(*sizes)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("collbench", err)
 	}
 	res, err := expt.RunFig5Ctx(ctx, expt.Fig5Config{
 		Platform:   pl,
@@ -65,8 +58,7 @@ func main() {
 		Progress:   cliutil.ProgressPrinter(os.Stderr, "collbench", *progress),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "collbench: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("collbench", err)
 	}
 	fmt.Print(res.Format())
 }

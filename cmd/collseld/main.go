@@ -1,0 +1,106 @@
+// Command collseld serves algorithm selections over HTTP from a compiled
+// decision-table artifact (see compilestore). Queries the table covers are
+// answered in sub-microsecond time; everything else falls through to a
+// live selection guarded by coalescing and a bounded worker pool.
+//
+// Endpoints: POST/GET /select, GET /healthz, POST /reload, GET /metrics.
+// SIGHUP also reloads the artifact; SIGINT/SIGTERM shut down gracefully.
+//
+// Usage:
+//
+//	compilestore -machine SimCluster -procs 8 -o table.json
+//	collseld -store table.json -addr :8177
+//	curl 'localhost:8177/select?collective=alltoall&msg_bytes=1024&procs=8'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"collsel/internal/cliutil"
+	"collsel/internal/serve"
+	"collsel/internal/store"
+)
+
+func main() {
+	storePath := flag.String("store", "decision_table.json", "decision-table artifact to serve")
+	addr := flag.String("addr", ":8177", "listen address")
+	coldWorkers := flag.Int("cold-workers", 2, "max concurrent live selections for uncovered queries")
+	coldCache := flag.Int("cold-cache", 4096, "cold-result cache capacity (negative disables)")
+	noCold := flag.Bool("no-cold", false, "refuse uncovered queries with 404 instead of computing them")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "collseld: ", log.LstdFlags)
+
+	tb, err := store.Load(*storePath)
+	if err != nil {
+		cliutil.Fatal("collseld", err)
+	}
+	logger.Printf("loaded %s: table %s for %s, %d cells", *storePath, tb.Version, tb.Machine, tb.Cells())
+
+	srv, err := serve.New(serve.Config{
+		Handle:       store.NewHandle(tb),
+		StorePath:    *storePath,
+		ColdDisabled: *noCold,
+		ColdWorkers:  *coldWorkers,
+		ColdCacheCap: *coldCache,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		cliutil.Fatal("collseld", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	// SIGHUP re-reads the artifact, the conventional daemon reload signal
+	// (the HTTP /reload endpoint does the same).
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if rr, err := srv.Reload(); err != nil {
+				logger.Printf("SIGHUP reload failed (still serving %s): %v", tableVersion(srv), err)
+			} else {
+				logger.Printf("SIGHUP reload: now serving table %s (%d cells)", rr.NewVersion, rr.Cells)
+			}
+		}
+	}()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cliutil.Fatal("collseld", err)
+		}
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			cliutil.Fatal("collseld", fmt.Errorf("shutdown: %w", err))
+		}
+	}
+}
+
+func tableVersion(s *serve.Server) string {
+	if t := s.TableSnapshot(); t != nil {
+		return t.Version
+	}
+	return "none"
+}

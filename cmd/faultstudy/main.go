@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"collsel/internal/cliutil"
 	"collsel/internal/coll"
@@ -24,7 +23,7 @@ import (
 func main() {
 	machine := flag.String("machine", "Hydra", "machine model")
 	procs := flag.Int("procs", 64, "number of processes")
-	colls := flag.String("colls", "reduce,allreduce,alltoall", "comma-separated collectives")
+	colls := flag.String("colls", "", "comma-separated collectives (default reduce,allreduce,alltoall)")
 	size := flag.Int("size", 32*1024, "message size in bytes")
 	drops := flag.String("drops", "", "comma-separated drop probabilities (default 0,0.005,0.02,0.08,0.2)")
 	retries := flag.Int("retries", 0, "max retransmissions per message (0: library default)")
@@ -35,35 +34,26 @@ func main() {
 	progress := flag.Bool("progress", false, "print cell progress")
 	flag.Parse()
 
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
 	pl, err := cliutil.Machine(*machine)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultstudy: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("faultstudy", err)
 	}
 	if err := cliutil.CheckProcs(*procs, pl); err != nil {
-		fmt.Fprintf(os.Stderr, "faultstudy: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("faultstudy", err)
 	}
-	var collectives []coll.Collective
-	for _, f := range strings.Split(*colls, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		c, ok := coll.CollectiveByName(f)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "faultstudy: unknown collective %q\n", f)
-			os.Exit(2)
-		}
-		collectives = append(collectives, c)
+	collectives, err := cliutil.Collectives(*colls, []coll.Collective{coll.Reduce, coll.Allreduce, coll.Alltoall})
+	if err != nil {
+		cliutil.Usage("faultstudy", err)
 	}
 	dropRates, err := cliutil.ParseFloats(*drops)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultstudy: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("faultstudy", err)
 	}
 
-	res, err := expt.RunFaultStudy(expt.FaultStudyConfig{
+	res, err := expt.RunFaultStudyCtx(ctx, expt.FaultStudyConfig{
 		Platform:    pl,
 		Collectives: collectives,
 		Procs:       *procs,
@@ -77,8 +67,7 @@ func main() {
 		Progress:    cliutil.ProgressPrinter(os.Stderr, "faultstudy", *progress),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultstudy: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("faultstudy", err)
 	}
 	fmt.Print(res.Format())
 }

@@ -12,11 +12,9 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 
 	"collsel/internal/cliutil"
 	"collsel/internal/coll"
@@ -41,22 +39,19 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
-	c, ok := coll.CollectiveByName(*collName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "selector: unknown collective %q\n", *collName)
-		os.Exit(2)
+	c, err := cliutil.Collective(*collName)
+	if err != nil {
+		cliutil.Usage("selector", err)
 	}
 	pl, err := cliutil.Machine(*machine)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("selector", err)
 	}
 	if err := cliutil.CheckProcs(*procs, pl); err != nil {
-		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("selector", err)
 	}
 	algs := coll.TableII(c)
 	if len(algs) == 0 {
@@ -82,13 +77,11 @@ func main() {
 		Progress:    cliutil.ProgressPrinter(os.Stderr, "selector", *progress),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("selector", err)
 	}
 	choices, err := m.SelectRobust()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "selector: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("selector", err)
 	}
 	noDelay, _ := m.NoDelayChoice()
 

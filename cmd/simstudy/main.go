@@ -10,14 +10,11 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 
 	"collsel/internal/cliutil"
-	"collsel/internal/coll"
 	"collsel/internal/expt"
 	"collsel/internal/netmodel"
 )
@@ -32,22 +29,19 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
-	c, ok := coll.CollectiveByName(*collName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "simstudy: unknown collective %q\n", *collName)
-		os.Exit(2)
+	c, err := cliutil.Collective(*collName)
+	if err != nil {
+		cliutil.Usage("simstudy", err)
 	}
 	if err := cliutil.CheckProcs(*procs, netmodel.SimCluster()); err != nil {
-		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("simstudy", err)
 	}
 	msgSizes, err := cliutil.ParseSizes(*sizes)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
-		os.Exit(2)
+		cliutil.Usage("simstudy", err)
 	}
 	res, err := expt.RunFig4Ctx(ctx, expt.Fig4Config{
 		Collective: c,
@@ -59,8 +53,7 @@ func main() {
 		Progress:   cliutil.ProgressPrinter(os.Stderr, "simstudy", *progress),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simstudy: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("simstudy", err)
 	}
 	fmt.Print(res.Format())
 }

@@ -26,7 +26,6 @@ package collsel
 
 import (
 	"context"
-	"fmt"
 
 	"collsel/internal/apps/dltrain"
 	"collsel/internal/apps/ft"
@@ -469,79 +468,39 @@ func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selectio
 	for _, o := range opts {
 		o(&cfg)
 	}
-	algs := cfg.Algorithms
-	if len(algs) == 0 {
-		algs = coll.TableII(cfg.Collective)
-	}
-	if len(algs) == 0 {
-		algs = coll.Algorithms(cfg.Collective)
-	}
-	policy := expt.SkewAvgRuntime
-	if cfg.MaxSkewNs > 0 {
-		policy = expt.SkewFixed
-	}
 	var eng *runner.Engine
 	if cfg.Workers > 0 {
 		// A bounded pool that still shares the process-wide cell cache.
 		eng = runner.New(runner.WithWorkers(cfg.Workers), runner.WithCache(runner.DefaultCache()))
 	}
-	grid := expt.GridConfig{
-		Platform:    cfg.Machine,
-		Procs:       cfg.Procs,
-		Seed:        cfg.Seed,
-		Algorithms:  algs,
-		Shapes:      pattern.ArtificialShapes(),
-		MsgBytes:    cfg.MsgBytes,
-		Root:        cfg.Root,
-		Policy:      policy,
-		Factor:      cfg.Factor,
-		FixedSkewNs: cfg.MaxSkewNs,
-		Reps:        cfg.Reps,
-		Warmup:      cfg.Warmup,
-		Faults:      cfg.Faults,
-		WatchdogNs:  cfg.WatchdogNs,
-		Runner:      eng,
-		Progress:    cfg.Progress,
-	}
-	sel := &Selection{}
-	var m *Matrix
-	var err error
-	if cfg.Faults.Enabled || cfg.WatchdogNs > 0 {
-		// Degraded mode: tolerate failed cells, exclude their algorithms and
-		// rank the survivors. Only fault injection and the watchdog can fail
-		// cells here, so an empty survivor set means every algorithm faulted.
-		var report *expt.DegradedReport
-		m, _, report, err = expt.BuildMatrixDegraded(ctx, grid)
-		if err != nil {
-			return nil, err
-		}
-		m, _ = m.PruneFailed()
-		sel.Report = report
-		if report.Degraded() {
-			sel.Degraded = true
-			sel.Excluded = report.Excluded
-			sel.FaultCounts = report.FaultCounts
-		}
-		if len(m.Algorithms) == 0 {
-			return nil, fmt.Errorf("collsel: every algorithm failed under fault injection: %s", report)
-		}
-	} else {
-		m, _, err = expt.BuildMatrixCtx(ctx, grid)
-		if err != nil {
-			return nil, err
-		}
-	}
-	ranking, err := m.SelectRobust()
+	out, err := expt.SelectRobustCtx(ctx, expt.SelectSpec{
+		Platform:   cfg.Machine,
+		Collective: cfg.Collective,
+		MsgBytes:   cfg.MsgBytes,
+		Procs:      cfg.Procs,
+		Root:       cfg.Root,
+		MaxSkewNs:  cfg.MaxSkewNs,
+		Factor:     cfg.Factor,
+		Reps:       cfg.Reps,
+		Warmup:     cfg.Warmup,
+		Seed:       cfg.Seed,
+		Faults:     cfg.Faults,
+		WatchdogNs: cfg.WatchdogNs,
+		Algorithms: cfg.Algorithms,
+		Runner:     eng,
+		Progress:   cfg.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}
-	conventional, err := m.NoDelayChoice()
-	if err != nil {
-		return nil, err
-	}
-	sel.Recommended = ranking[0].Algorithm
-	sel.ConventionalChoice = conventional
-	sel.Ranking = ranking
-	sel.Matrix = m
-	return sel, nil
+	return &Selection{
+		Recommended:        out.Ranking[0].Algorithm,
+		ConventionalChoice: out.Conventional,
+		Ranking:            out.Ranking,
+		Matrix:             out.Matrix,
+		Degraded:           out.Degraded,
+		Excluded:           out.Excluded,
+		FaultCounts:        out.FaultCounts,
+		Report:             out.Report,
+	}, nil
 }

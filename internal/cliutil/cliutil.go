@@ -2,11 +2,17 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"collsel/internal/coll"
 	"collsel/internal/netmodel"
 	"collsel/internal/runner"
 )
@@ -105,6 +111,62 @@ func ProgressPrinter(w io.Writer, label string, enabled bool) func(done, total i
 			fmt.Fprintln(w)
 		}
 	}
+}
+
+// Collective resolves a collective by name with a helpful error listing
+// the valid spellings.
+func Collective(name string) (coll.Collective, error) {
+	c, ok := coll.CollectiveByName(strings.TrimSpace(name))
+	if !ok {
+		return 0, fmt.Errorf("unknown collective %q (try reduce, allreduce, alltoall, bcast, ...)", name)
+	}
+	return c, nil
+}
+
+// Collectives parses a comma-separated collective list; empty yields def
+// (so a tool's default set lives next to its flag definition).
+func Collectives(s string, def []coll.Collective) ([]coll.Collective, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	var out []coll.Collective
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		c, err := Collective(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM, for
+// plumbing clean cancellation through a tool's grid builds and servers.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Usage reports a flag-validation error on stderr and exits with the
+// conventional usage status 2.
+func Usage(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(2)
+}
+
+// Fatal reports a runtime error and exits. An error caused by context
+// cancellation (the tool was interrupted) gets a clean one-line message
+// and the conventional 130 (128+SIGINT) status instead of status 1.
+func Fatal(tool string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", tool)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
 }
 
 // Machines resolves a comma-separated machine list; empty means the three

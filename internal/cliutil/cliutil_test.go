@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"collsel/internal/coll"
 	"collsel/internal/netmodel"
 )
 
@@ -64,6 +65,40 @@ func TestCheckProcs(t *testing.T) {
 			t.Errorf("error %q missing %q", err, want)
 		}
 	}
+}
+
+func TestCollective(t *testing.T) {
+	c, err := Collective(" alltoall ")
+	if err != nil || c != coll.Alltoall {
+		t.Fatalf("got %v, %v", c, err)
+	}
+	if _, err := Collective("gossip"); err == nil {
+		t.Fatal("unknown collective accepted")
+	}
+}
+
+func TestCollectives(t *testing.T) {
+	def := []coll.Collective{coll.Reduce, coll.Allreduce}
+	got, err := Collectives("", def)
+	if err != nil || len(got) != 2 || got[0] != coll.Reduce {
+		t.Fatalf("default not returned: %v, %v", got, err)
+	}
+	got, err = Collectives("alltoall, bcast", def)
+	if err != nil || len(got) != 2 || got[0] != coll.Alltoall || got[1] != coll.Bcast {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := Collectives("reduce,nope", def); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext()
+	if ctx.Err() != nil {
+		t.Fatal("fresh signal context already cancelled")
+	}
+	stop()
+	<-ctx.Done()
 }
 
 func TestParseFloats(t *testing.T) {

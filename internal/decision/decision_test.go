@@ -91,6 +91,81 @@ func TestFixedBcastAndBarrier(t *testing.T) {
 	}
 }
 
+// TestFixedBinBoundaries pins every size threshold of the fixed rules at
+// its exact edge (last byte inside the bin, first byte outside) and the
+// communicator-size edges, so a refactor of the decision ladders cannot
+// silently move a boundary.
+func TestFixedBinBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		c        coll.Collective
+		p, bytes int
+		want     string
+	}{
+		// Alltoall: bruck cutoff at 768 bytes (p >= 12), linear_sync
+		// cutoff at 128 KiB, procs edges at 4 and 12.
+		{"alltoall bruck edge", coll.Alltoall, 12, 768, "bruck"},
+		{"alltoall past bruck edge", coll.Alltoall, 12, 769, "linear_sync"},
+		{"alltoall procs below bruck", coll.Alltoall, 11, 768, "linear_sync"},
+		{"alltoall linear_sync edge", coll.Alltoall, 64, 131072, "linear_sync"},
+		{"alltoall past linear_sync edge", coll.Alltoall, 64, 131073, "pairwise"},
+		{"alltoall tiny comm edge", coll.Alltoall, 3, 1048576, "basic_linear"},
+		{"alltoall first non-tiny comm", coll.Alltoall, 4, 1048576, "pairwise"},
+		{"alltoall zero bytes", coll.Alltoall, 64, 0, "bruck"},
+
+		// Reduce: binomial/binary/pipeline/rabenseifner ladder at
+		// 4 KiB / 64 KiB / 512 KiB, linear for p <= 2.
+		{"reduce binomial edge", coll.Reduce, 64, 4096, "binomial"},
+		{"reduce past binomial edge", coll.Reduce, 64, 4097, "binary"},
+		{"reduce binary edge", coll.Reduce, 64, 65536, "binary"},
+		{"reduce past binary edge", coll.Reduce, 64, 65537, "pipeline"},
+		{"reduce pipeline edge", coll.Reduce, 64, 524288, "pipeline"},
+		{"reduce past pipeline edge", coll.Reduce, 64, 524289, "rabenseifner"},
+		{"reduce pair edge", coll.Reduce, 2, 1048576, "linear"},
+		{"reduce first tree comm", coll.Reduce, 3, 8, "binomial"},
+
+		// Allreduce: recursive doubling through 10 KiB (or p <= 4),
+		// rabenseifner through 1 MiB.
+		{"allreduce rdbl edge", coll.Allreduce, 64, 10240, "recursive_doubling"},
+		{"allreduce past rdbl edge", coll.Allreduce, 64, 10241, "rabenseifner"},
+		{"allreduce small comm override", coll.Allreduce, 4, 8388608, "recursive_doubling"},
+		{"allreduce first large comm", coll.Allreduce, 5, 8388608, "segmented_ring"},
+		{"allreduce raben edge", coll.Allreduce, 64, 1048576, "rabenseifner"},
+		{"allreduce past raben edge", coll.Allreduce, 64, 1048577, "segmented_ring"},
+
+		// Bcast: binomial through 2 KiB (or p <= 4), binary through
+		// 128 KiB, scatter-allgather needs p >= 32 and >= 1 MiB.
+		{"bcast binomial edge", coll.Bcast, 64, 2048, "binomial"},
+		{"bcast past binomial edge", coll.Bcast, 64, 2049, "binary"},
+		{"bcast binary edge", coll.Bcast, 64, 131072, "binary"},
+		{"bcast past binary edge", coll.Bcast, 64, 131073, "pipeline"},
+		{"bcast sag procs edge", coll.Bcast, 32, 1048576, "scatter_allgather"},
+		{"bcast below sag procs", coll.Bcast, 31, 1048576, "pipeline"},
+		{"bcast below sag bytes", coll.Bcast, 64, 1048575, "pipeline"},
+		{"bcast small comm override", coll.Bcast, 4, 1048576, "binomial"},
+
+		// Barrier: procs-only ladder at 2 and 8.
+		{"barrier pair edge", coll.Barrier, 2, 0, "linear"},
+		{"barrier first rdbl", coll.Barrier, 3, 0, "recursive_doubling"},
+		{"barrier rdbl edge", coll.Barrier, 8, 0, "recursive_doubling"},
+		{"barrier first dissemination", coll.Barrier, 9, 0, "dissemination"},
+
+		// Far beyond any modelled machine: the ladders still resolve.
+		{"alltoall huge comm", coll.Alltoall, 1 << 20, 8, "bruck"},
+		{"reduce huge comm", coll.Reduce, 1 << 20, 8, "binomial"},
+	}
+	for _, c := range cases {
+		al, err := Fixed(c.c, c.p, c.bytes)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if al.Name != c.want {
+			t.Errorf("%s (p=%d, %d B): got %s want %s", c.name, c.p, c.bytes, al.Name, c.want)
+		}
+	}
+}
+
 func TestFixedRejectsInvalid(t *testing.T) {
 	if _, err := Fixed(coll.Alltoall, 0, 8); err == nil {
 		t.Error("comm size 0 accepted")

@@ -16,6 +16,7 @@ package netmodel
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 )
 
@@ -225,4 +226,20 @@ func (p *Platform) Validate() error {
 		return fmt.Errorf("netmodel: %s: nodes (%d) not divisible by group size (%d)", p.Name, p.Nodes, p.GroupSize)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable content identity of the platform's full
+// parameter set, "<name>#<16 hex digits>". Platform is a plain value struct
+// (no pointers, no functions), so the printed form is a complete canonical
+// serialization; two platforms with equal fingerprints behave identically
+// in every simulation. The fingerprint names platforms in cell-cache keys
+// and ties decision-table artifacts to the machine model they were compiled
+// for, so a drifted preset is detected instead of silently served.
+func (p *Platform) Fingerprint() string {
+	if p == nil {
+		return "nil"
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *p)
+	return fmt.Sprintf("%s#%016x", p.Name, h.Sum64())
 }

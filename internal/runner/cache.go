@@ -31,17 +31,10 @@ func CellKey(cfg microbench.Config) string {
 	return b.String()
 }
 
-// platformKey fingerprints a platform's full parameter set. Platform is a
-// plain value struct (no pointers, no functions), so the printed form is a
-// complete canonical serialization.
-func platformKey(p *netmodel.Platform) string {
-	if p == nil {
-		return "nil"
-	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", *p)
-	return fmt.Sprintf("%s#%016x", p.Name, h.Sum64())
-}
+// platformKey fingerprints a platform's full parameter set; see
+// netmodel.Platform.Fingerprint (the same identity ties decision-table
+// artifacts to their machine model).
+func platformKey(p *netmodel.Platform) string { return p.Fingerprint() }
 
 // patternKey fingerprints a pattern by its name and exact delay vector, so
 // traced application scenarios with equal names but different delays do not

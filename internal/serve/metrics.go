@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is a minimal, dependency-free Prometheus-text metric set. Only
+// what /metrics renders is implemented: counters, one latency histogram and
+// a few gauges computed at scrape time.
+type metrics struct {
+	// requests counts finished HTTP requests by (endpoint, code).
+	requestsMu sync.Mutex
+	requests   map[[2]string]*atomic.Int64
+
+	// Select-path traffic.
+	tableHits     atomic.Int64 // answered from the loaded table
+	tableMisses   atomic.Int64 // not in the table (cold path or refusal)
+	coldComputes  atomic.Int64 // live selections actually executed
+	coldCacheHits atomic.Int64 // answered from the cold-result cache
+	coalesced     atomic.Int64 // requests that waited on an in-flight twin
+	inflightCold  atomic.Int64 // cold selections currently executing
+
+	// latency is the /select latency histogram.
+	latency histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: map[[2]string]*atomic.Int64{}}
+}
+
+func (m *metrics) countRequest(endpoint string, code int) {
+	key := [2]string{endpoint, fmt.Sprintf("%d", code)}
+	m.requestsMu.Lock()
+	c := m.requests[key]
+	if c == nil {
+		c = &atomic.Int64{}
+		m.requests[key] = c
+	}
+	m.requestsMu.Unlock()
+	c.Add(1)
+}
+
+// histogram is a fixed-bucket latency histogram (seconds).
+type histogram struct {
+	counts [len(latencyBuckets) + 1]atomic.Int64 // last bucket is +Inf
+	sum    atomicFloat
+	total  atomic.Int64
+}
+
+// latencyBuckets spans table lookups (sub-microsecond) through cold
+// selections (seconds).
+var latencyBuckets = [...]float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.counts[i].Add(1)
+	h.sum.add(seconds)
+	h.total.Add(1)
+}
+
+// atomicFloat accumulates a float64 with a CAS loop.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// render writes the Prometheus text exposition. tableInfo supplies the
+// gauges that depend on the currently loaded table (version, age, cells,
+// swaps); it is read at scrape time so a hot swap is visible immediately.
+func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, ageSec float64, cells int, swaps int64)) {
+	fmt.Fprintf(b, "# HELP collseld_requests_total Finished HTTP requests.\n")
+	fmt.Fprintf(b, "# TYPE collseld_requests_total counter\n")
+	m.requestsMu.Lock()
+	keys := make([][2]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(b, "collseld_requests_total{endpoint=%q,code=%q} %d\n", k[0], k[1], m.requests[k].Load())
+	}
+	m.requestsMu.Unlock()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("collseld_table_hits_total", "Select queries answered from the decision table.", m.tableHits.Load())
+	counter("collseld_table_misses_total", "Select queries not covered by the decision table.", m.tableMisses.Load())
+	counter("collseld_cold_computes_total", "Live selections executed for cold cells.", m.coldComputes.Load())
+	counter("collseld_cold_cache_hits_total", "Select queries answered from the cold-result cache.", m.coldCacheHits.Load())
+	counter("collseld_coalesced_total", "Select queries coalesced onto an in-flight selection.", m.coalesced.Load())
+
+	fmt.Fprintf(b, "# HELP collseld_inflight_cold Cold selections currently executing.\n")
+	fmt.Fprintf(b, "# TYPE collseld_inflight_cold gauge\n")
+	fmt.Fprintf(b, "collseld_inflight_cold %d\n", m.inflightCold.Load())
+
+	fmt.Fprintf(b, "# HELP collseld_select_latency_seconds Select request latency.\n")
+	fmt.Fprintf(b, "# TYPE collseld_select_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latency.counts[i].Load()
+		fmt.Fprintf(b, "collseld_select_latency_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
+	}
+	cum += m.latency.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(b, "collseld_select_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(b, "collseld_select_latency_seconds_sum %g\n", m.latency.sum.load())
+	fmt.Fprintf(b, "collseld_select_latency_seconds_count %d\n", m.latency.total.Load())
+
+	version, age, cells, swaps := tableInfo()
+	fmt.Fprintf(b, "# HELP collseld_table_info Currently loaded decision table (value is always 1).\n")
+	fmt.Fprintf(b, "# TYPE collseld_table_info gauge\n")
+	fmt.Fprintf(b, "collseld_table_info{version=%q} 1\n", version)
+	fmt.Fprintf(b, "# HELP collseld_table_age_seconds Seconds since the table was installed.\n")
+	fmt.Fprintf(b, "# TYPE collseld_table_age_seconds gauge\n")
+	fmt.Fprintf(b, "collseld_table_age_seconds %g\n", age)
+	fmt.Fprintf(b, "# HELP collseld_table_cells Compiled cells in the loaded table.\n")
+	fmt.Fprintf(b, "# TYPE collseld_table_cells gauge\n")
+	fmt.Fprintf(b, "collseld_table_cells %d\n", cells)
+	fmt.Fprintf(b, "# HELP collseld_table_swaps_total Table installs (initial load and reloads).\n")
+	fmt.Fprintf(b, "# TYPE collseld_table_swaps_total counter\n")
+	fmt.Fprintf(b, "collseld_table_swaps_total %d\n", swaps)
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }

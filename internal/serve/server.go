@@ -1,0 +1,416 @@
+// Package serve is the online half of the offline-compile/online-serve
+// split: an HTTP/JSON service answering "which collective algorithm should
+// this call use?" from a compiled decision table (internal/store).
+//
+// The hot path is a lock-free table lookup — an atomic snapshot read plus
+// two binary searches — so a loaded server answers in sub-microsecond time
+// and /reload can hot-swap the table underneath live traffic without a
+// failed or torn response. Queries the table does not cover fall through to
+// a live selection (the full pattern x algorithm simulation grid), guarded
+// by singleflight coalescing, a bounded worker pool and a cold-result
+// cache, so a thundering herd on one cold cell costs one simulation.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+	"collsel/internal/netmodel"
+	"collsel/internal/store"
+)
+
+// SelectFunc computes a cold cell: the provenance-matched live selection
+// for a grid point the table does not cover.
+type SelectFunc func(ctx context.Context, t *store.Table, c coll.Collective, procs, msgBytes int) (store.Cell, error)
+
+// Fallback is the default cold path: it resolves the table's machine model
+// from the preset registry, refuses to compute if the model has drifted
+// from the table's platform fingerprint (the answers would be silently
+// wrong for the artifact's provenance), and otherwise runs the same
+// selection the compiler ran — bit-identical to a compiled cell.
+func Fallback(ctx context.Context, t *store.Table, c coll.Collective, procs, msgBytes int) (store.Cell, error) {
+	pl := netmodel.ByName(t.Machine)
+	if pl == nil {
+		return store.Cell{}, fmt.Errorf("serve: table machine %q is not a known preset", t.Machine)
+	}
+	if fp := pl.Fingerprint(); fp != t.PlatformFingerprint {
+		return store.Cell{}, fmt.Errorf("serve: machine %s drifted from the table's model (%s vs %s); recompile the artifact",
+			t.Machine, fp, t.PlatformFingerprint)
+	}
+	if procs > pl.Size() {
+		return store.Cell{}, fmt.Errorf("serve: %d procs exceed machine %s (%d)", procs, t.Machine, pl.Size())
+	}
+	out, err := expt.SelectRobustCtx(ctx, store.SpecOf(t, pl, c, procs, msgBytes))
+	if err != nil {
+		return store.Cell{}, err
+	}
+	return store.CellFromOutcome(msgBytes, out), nil
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Handle is the hot-swap slot the server answers from; required.
+	Handle *store.Handle
+	// StorePath is the artifact /reload re-reads; empty disables /reload.
+	StorePath string
+	// Cold is the cold-path selection (default: Fallback). Set ColdDisabled
+	// to refuse uncovered queries with 404 instead.
+	Cold         SelectFunc
+	ColdDisabled bool
+	// ColdWorkers bounds concurrent cold selections (default 2): each one
+	// is a full simulation grid, so an unbounded pool would let a burst of
+	// distinct cold cells saturate the process.
+	ColdWorkers int
+	// ColdCacheCap bounds the cold-result cache (default 4096 entries;
+	// negative disables caching).
+	ColdCacheCap int
+	// Logf, when non-nil, receives one line per reload and cold compute.
+	Logf func(format string, args ...any)
+}
+
+// Server implements the HTTP service; obtain its routes with Handler.
+type Server struct {
+	cfg     Config
+	handle  *store.Handle
+	metrics *metrics
+	flights *flightGroup
+	// coldSem is the bounded cold-selection pool.
+	coldSem chan struct{}
+	// coldCache memoizes computed cold cells by query key with FIFO
+	// eviction (coldOrder); a repeated cold query costs a map read.
+	coldMu    sync.Mutex
+	coldCache map[string]store.Cell
+	coldOrder []string
+	started   time.Time
+}
+
+// New creates a Server over a handle. The handle may be empty (no table);
+// the server then serves 503 until a table is installed or reloaded.
+func New(cfg Config) (*Server, error) {
+	if cfg.Handle == nil {
+		return nil, fmt.Errorf("serve: nil store handle")
+	}
+	if cfg.Cold == nil {
+		cfg.Cold = Fallback
+	}
+	if cfg.ColdWorkers <= 0 {
+		cfg.ColdWorkers = 2
+	}
+	if cfg.ColdCacheCap == 0 {
+		cfg.ColdCacheCap = 4096
+	}
+	s := &Server{
+		cfg:     cfg,
+		handle:  cfg.Handle,
+		metrics: newMetrics(),
+		flights: newFlightGroup(),
+		coldSem: make(chan struct{}, cfg.ColdWorkers),
+		started: time.Now(),
+	}
+	if cfg.ColdCacheCap > 0 {
+		s.coldCache = map[string]store.Cell{}
+	}
+	return s, nil
+}
+
+// TableSnapshot returns the currently served table (nil when none is
+// installed); callers get an immutable snapshot, safe across reloads.
+func (s *Server) TableSnapshot() *store.Table { return s.handle.Table() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the service routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/select", s.handleSelect)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// SelectRequest is the /select request body (or query parameters).
+type SelectRequest struct {
+	Collective string `json:"collective"`
+	MsgBytes   int    `json:"msg_bytes"`
+	Procs      int    `json:"procs"`
+}
+
+// SelectResponse is the /select answer.
+type SelectResponse struct {
+	Collective string        `json:"collective"`
+	Procs      int           `json:"procs"`
+	MsgBytes   int           `json:"msg_bytes"`
+	Algorithm  store.AlgoRef `json:"algorithm"`
+	Score      float64       `json:"score"`
+	RunnerUp   store.AlgoRef `json:"runner_up,omitempty"`
+	Margin     float64       `json:"margin,omitempty"`
+	// Conventional is the synchronized-benchmark choice, for comparison.
+	Conventional store.AlgoRef `json:"conventional"`
+	Degraded     bool          `json:"degraded,omitempty"`
+	Excluded     []string      `json:"excluded,omitempty"`
+	// Source tells where the answer came from: "table", "cold_cache" or
+	// "computed". Exact is false when a table answer came from a bin rather
+	// than the exact compiled size.
+	Source string `json:"source"`
+	Exact  bool   `json:"exact"`
+	// TableVersion is the version of the table that answered (also set for
+	// cold answers: they are computed under that table's provenance).
+	TableVersion string `json:"table_version"`
+}
+
+// httpError is a JSON error reply.
+func (s *Server) httpError(w http.ResponseWriter, endpoint string, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.metrics.countRequest(endpoint, code)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+	s.metrics.countRequest(endpoint, code)
+}
+
+// parseSelect accepts POST JSON bodies and GET query parameters.
+func parseSelect(r *http.Request) (SelectRequest, error) {
+	var req SelectRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %v", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Collective = q.Get("collective")
+		fmt.Sscan(q.Get("msg_bytes"), &req.MsgBytes)
+		fmt.Sscan(q.Get("procs"), &req.Procs)
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if req.Collective == "" {
+		return req, fmt.Errorf("missing collective")
+	}
+	if req.MsgBytes <= 0 {
+		return req, fmt.Errorf("msg_bytes must be positive")
+	}
+	if req.Procs <= 0 {
+		return req, fmt.Errorf("procs must be positive")
+	}
+	return req, nil
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, err := parseSelect(r)
+	if err != nil {
+		s.httpError(w, "select", http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, ok := coll.CollectiveByName(req.Collective)
+	if !ok {
+		s.httpError(w, "select", http.StatusBadRequest, "unknown collective %q", req.Collective)
+		return
+	}
+	// One snapshot per request: every answer — table hit or cold compute —
+	// is consistent with exactly one table version, even across a /reload.
+	t := s.handle.Table()
+	if t == nil {
+		s.httpError(w, "select", http.StatusServiceUnavailable, "no decision table loaded")
+		return
+	}
+
+	resp := SelectResponse{
+		Collective:   c.String(),
+		Procs:        req.Procs,
+		MsgBytes:     req.MsgBytes,
+		TableVersion: t.Version,
+	}
+	if lk, ok := t.Get(c, req.Procs, req.MsgBytes); ok {
+		s.metrics.tableHits.Add(1)
+		fillFromCell(&resp, lk.Cell, "table", lk.Exact)
+		s.metrics.latency.observe(time.Since(start).Seconds())
+		s.writeJSON(w, "select", http.StatusOK, resp)
+		return
+	}
+	s.metrics.tableMisses.Add(1)
+	if s.cfg.ColdDisabled {
+		s.httpError(w, "select", http.StatusNotFound, "not covered by table %s (cold path disabled)", t.Version)
+		return
+	}
+
+	key := fmt.Sprintf("%s|%s|%d|%d", t.Version, c, req.Procs, req.MsgBytes)
+	if cell, ok := s.coldLookup(key); ok {
+		s.metrics.coldCacheHits.Add(1)
+		fillFromCell(&resp, cell, "cold_cache", true)
+		s.metrics.latency.observe(time.Since(start).Seconds())
+		s.writeJSON(w, "select", http.StatusOK, resp)
+		return
+	}
+
+	cell, err, coalesced := s.flights.do(r.Context(), key, func() (store.Cell, error) {
+		s.coldSem <- struct{}{}
+		defer func() { <-s.coldSem }()
+		s.metrics.inflightCold.Add(1)
+		defer s.metrics.inflightCold.Add(-1)
+		s.metrics.coldComputes.Add(1)
+		s.logf("cold select: %s %d procs %d B (table %s)", c, req.Procs, req.MsgBytes, t.Version)
+		// Detached context: a cancelled requester must not abort a
+		// selection other coalesced waiters (and the cache) will use.
+		cell, err := s.cfg.Cold(context.Background(), t, c, req.Procs, req.MsgBytes)
+		if err == nil {
+			s.coldStore(key, cell)
+		}
+		return cell, err
+	})
+	if coalesced {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.httpError(w, "select", 499, "client cancelled: %v", err) // nginx's client-closed-request
+			return
+		}
+		s.httpError(w, "select", http.StatusBadGateway, "cold selection failed: %v", err)
+		return
+	}
+	fillFromCell(&resp, cell, "computed", true)
+	s.metrics.latency.observe(time.Since(start).Seconds())
+	s.writeJSON(w, "select", http.StatusOK, resp)
+}
+
+func fillFromCell(resp *SelectResponse, cell store.Cell, source string, exact bool) {
+	resp.Algorithm = cell.Winner
+	resp.Score = cell.Score
+	resp.RunnerUp = cell.RunnerUp
+	resp.Margin = cell.Margin
+	resp.Conventional = cell.Conventional
+	resp.Degraded = cell.Degraded
+	resp.Excluded = cell.Excluded
+	resp.Source = source
+	resp.Exact = exact
+}
+
+func (s *Server) coldLookup(key string) (store.Cell, bool) {
+	if s.coldCache == nil {
+		return store.Cell{}, false
+	}
+	s.coldMu.Lock()
+	defer s.coldMu.Unlock()
+	cell, ok := s.coldCache[key]
+	return cell, ok
+}
+
+func (s *Server) coldStore(key string, cell store.Cell) {
+	if s.coldCache == nil {
+		return
+	}
+	s.coldMu.Lock()
+	defer s.coldMu.Unlock()
+	if _, ok := s.coldCache[key]; ok {
+		return
+	}
+	for len(s.coldCache) >= s.cfg.ColdCacheCap && len(s.coldOrder) > 0 {
+		oldest := s.coldOrder[0]
+		s.coldOrder = s.coldOrder[1:]
+		delete(s.coldCache, oldest)
+	}
+	s.coldCache[key] = cell
+	s.coldOrder = append(s.coldOrder, key)
+}
+
+// HealthResponse is the /healthz answer.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	TableVersion  string  `json:"table_version,omitempty"`
+	TableAgeSec   float64 `json:"table_age_seconds,omitempty"`
+	TableCells    int     `json:"table_cells,omitempty"`
+	Machine       string  `json:"machine,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	t := s.handle.Table()
+	resp := HealthResponse{UptimeSeconds: time.Since(s.started).Seconds()}
+	if t == nil {
+		resp.Status = "no table"
+		s.writeJSON(w, "healthz", http.StatusServiceUnavailable, resp)
+		return
+	}
+	resp.Status = "ok"
+	resp.TableVersion = t.Version
+	resp.TableAgeSec = s.handle.AgeSeconds()
+	resp.TableCells = t.Cells()
+	resp.Machine = t.Machine
+	s.writeJSON(w, "healthz", http.StatusOK, resp)
+}
+
+// ReloadResponse is the /reload answer.
+type ReloadResponse struct {
+	OldVersion string `json:"old_version,omitempty"`
+	NewVersion string `json:"new_version"`
+	Cells      int    `json:"cells"`
+	Swaps      int64  `json:"swaps"`
+}
+
+// Reload re-reads and verifies the configured artifact and hot-swaps it
+// in. On any error the currently served table stays installed.
+func (s *Server) Reload() (ReloadResponse, error) {
+	if s.cfg.StorePath == "" {
+		return ReloadResponse{}, fmt.Errorf("serve: no store path configured")
+	}
+	t, err := store.Load(s.cfg.StorePath)
+	if err != nil {
+		return ReloadResponse{}, err
+	}
+	old := s.handle.Swap(t)
+	resp := ReloadResponse{NewVersion: t.Version, Cells: t.Cells(), Swaps: s.handle.Swaps()}
+	if old != nil {
+		resp.OldVersion = old.Version
+	}
+	s.logf("reloaded %s: table %s (%d cells, was %s)", s.cfg.StorePath, resp.NewVersion, resp.Cells, resp.OldVersion)
+	return resp, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, "reload", http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	resp, err := s.Reload()
+	if err != nil {
+		// The old table keeps serving; a broken artifact must not take the
+		// service down.
+		s.httpError(w, "reload", http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.writeJSON(w, "reload", http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b, func() (string, float64, int, int64) {
+		t := s.handle.Table()
+		if t == nil {
+			return "none", 0, 0, s.handle.Swaps()
+		}
+		return t.Version, s.handle.AgeSeconds(), t.Cells(), s.handle.Swaps()
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+	s.metrics.countRequest("metrics", http.StatusOK)
+}

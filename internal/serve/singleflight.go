@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"collsel/internal/store"
+)
+
+// flightGroup coalesces concurrent cold-path selections: while a selection
+// for a key is in flight, every further request for that key waits on the
+// leader's result instead of simulating the same grid again. The leader
+// computes on a detached context, so a cancelled follower (or even a
+// cancelled leader request) never aborts work that other waiters — or the
+// cold cache — will still use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when cell/err are populated
+	cell store.Cell
+	err  error
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: map[string]*flight{}} }
+
+// do returns the result of fn for key, running fn exactly once per key at a
+// time. coalesced reports whether this call waited on another's execution.
+// A caller whose ctx expires before the leader finishes gets ctx.Err();
+// the computation itself keeps running for the remaining waiters.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (store.Cell, error)) (cell store.Cell, err error, coalesced bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.cell, f.err, true
+		case <-ctx.Done():
+			return store.Cell{}, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.cell, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+
+	select {
+	case <-ctx.Done():
+		return store.Cell{}, ctx.Err(), false
+	default:
+	}
+	return f.cell, f.err, false
+}

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+	"collsel/internal/netmodel"
+)
+
+// tinyTable builds a small hand-made table for lookup and I/O tests.
+func tinyTable(t *testing.T) *Table {
+	t.Helper()
+	tb := &Table{
+		Machine:             "SimCluster",
+		PlatformFingerprint: netmodel.SimCluster().Fingerprint(),
+		Seed:                1,
+		Sections: []Section{
+			{
+				Collective: coll.Alltoall.String(),
+				Procs:      8,
+				Cells: []Cell{
+					{MsgBytes: 1024, Winner: AlgoRef{ID: 2, Name: "pairwise"}, Score: 1.1, Conventional: AlgoRef{ID: 1, Name: "basic_linear"}},
+					{MsgBytes: 64, Winner: AlgoRef{ID: 3, Name: "bruck"}, Score: 1.0, Conventional: AlgoRef{ID: 3, Name: "bruck"}},
+				},
+			},
+			{
+				Collective: coll.Reduce.String(),
+				Procs:      8,
+				Cells: []Cell{
+					{MsgBytes: 64, Winner: AlgoRef{ID: 5, Name: "binomial"}, Score: 1.0, Conventional: AlgoRef{ID: 5, Name: "binomial"}},
+				},
+			},
+		},
+	}
+	if err := tb.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestLookupBinBoundaries(t *testing.T) {
+	tb := tinyTable(t)
+	cases := []struct {
+		name   string
+		c      coll.Collective
+		procs  int
+		bytes  int
+		ok     bool
+		winner string
+		exact  bool
+	}{
+		{"exact lower bin", coll.Alltoall, 8, 64, true, "bruck", true},
+		{"inside lower bin", coll.Alltoall, 8, 512, true, "bruck", false},
+		{"lower edge of upper bin", coll.Alltoall, 8, 1024, true, "pairwise", true},
+		{"just below upper edge", coll.Alltoall, 8, 1023, true, "bruck", false},
+		{"above last bin within decade", coll.Alltoall, 8, 10 * 1024, true, "pairwise", false},
+		{"too far above last bin", coll.Alltoall, 8, 10*1024 + 1, false, "", false},
+		{"below smallest bin", coll.Alltoall, 8, 63, false, "", false},
+		{"procs not compiled", coll.Alltoall, 16, 64, false, "", false},
+		{"procs below range", coll.Alltoall, 4, 64, false, "", false},
+		{"collective not compiled", coll.Bcast, 8, 64, false, "", false},
+		{"other section unaffected", coll.Reduce, 8, 100, true, "binomial", false},
+		{"non-positive size", coll.Alltoall, 8, 0, false, "", false},
+		{"non-positive procs", coll.Alltoall, 0, 64, false, "", false},
+	}
+	for _, c := range cases {
+		lk, ok := tb.Get(c.c, c.procs, c.bytes)
+		if ok != c.ok {
+			t.Errorf("%s: ok=%v want %v", c.name, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if lk.Cell.Winner.Name != c.winner {
+			t.Errorf("%s: winner %s want %s", c.name, lk.Cell.Winner.Name, c.winner)
+		}
+		if lk.Exact != c.exact {
+			t.Errorf("%s: exact=%v want %v", c.name, lk.Exact, c.exact)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tb := tinyTable(t)
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version == "" || got.Version != tb.Version {
+		t.Fatalf("version %q after round trip, want %q", got.Version, tb.Version)
+	}
+	if got.Cells() != tb.Cells() {
+		t.Fatalf("cells %d after round trip, want %d", got.Cells(), tb.Cells())
+	}
+	lk, ok := got.Get(coll.Alltoall, 8, 512)
+	if !ok || lk.Cell.Winner.Name != "bruck" {
+		t.Fatalf("lookup after round trip: ok=%v cell=%+v", ok, lk.Cell)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	tb := tinyTable(t)
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the winner inside the payload without touching the checksum.
+	bad := strings.Replace(string(raw), "bruck", "bluck", 1)
+	if bad == string(raw) {
+		t.Fatal("corruption did not apply")
+	}
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted artifact loaded: err=%v", err)
+	}
+	// Garbage is rejected as not-an-artifact, not as a panic.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage artifact loaded")
+	}
+}
+
+func TestVersionIsContentHash(t *testing.T) {
+	a, b := tinyTable(t), tinyTable(t)
+	b.CreatedUnix = a.CreatedUnix + 12345
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != b.Version {
+		t.Fatalf("version depends on creation time: %s vs %s", a.Version, b.Version)
+	}
+	b.Sections[0].Cells[0].Score = 9.9
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version == b.Version {
+		t.Fatal("version did not change with content")
+	}
+}
+
+func TestCompileMatchesDirectSelection(t *testing.T) {
+	pl := netmodel.SimCluster()
+	cfg := CompileConfig{
+		Platform:    pl,
+		Collectives: []coll.Collective{coll.Alltoall},
+		ProcsList:   []int{8},
+		Sizes:       []int{256, 4096},
+		Seed:        1,
+	}
+	tb, err := Compile(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.PlatformFingerprint != pl.Fingerprint() {
+		t.Fatalf("fingerprint %s, want %s", tb.PlatformFingerprint, pl.Fingerprint())
+	}
+	for _, size := range cfg.Sizes {
+		lk, ok := tb.Get(coll.Alltoall, 8, size)
+		if !ok || !lk.Exact {
+			t.Fatalf("compiled cell %d B missing (ok=%v exact=%v)", size, ok, lk.Exact)
+		}
+		out, err := expt.SelectRobustCtx(context.Background(), SpecOf(tb, pl, coll.Alltoall, 8, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CellFromOutcome(size, out)
+		if lk.Cell.Winner != want.Winner || lk.Cell.RunnerUp != want.RunnerUp ||
+			lk.Cell.Score != want.Score || lk.Cell.Margin != want.Margin {
+			t.Fatalf("compiled cell %d B: %+v, direct selection %+v", size, lk.Cell, want)
+		}
+	}
+	// Deterministic recompilation: identical content version.
+	tb2, err := Compile(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version != tb2.Version {
+		t.Fatalf("recompilation changed version: %s vs %s", tb.Version, tb2.Version)
+	}
+}
+
+func TestHandleHotSwap(t *testing.T) {
+	a := tinyTable(t)
+	h := NewHandle(a)
+	if h.Table() != a || h.Swaps() != 1 {
+		t.Fatal("initial install not visible")
+	}
+
+	b := tinyTable(t)
+	b.Sections[0].Cells[0].Score = 2.0
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent readers must always observe a complete table (a or b).
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tb := h.Table()
+				if tb == nil {
+					t.Error("reader observed nil table")
+					return
+				}
+				if v := tb.Version; v != a.Version && v != b.Version {
+					t.Errorf("reader observed torn version %q", v)
+					return
+				}
+				if _, ok := tb.Get(coll.Reduce, 8, 64); !ok {
+					t.Error("reader observed incomplete table")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			h.Swap(b)
+		} else {
+			h.Swap(a)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if h.Swaps() != 1001 {
+		t.Fatalf("swaps %d, want 1001", h.Swaps())
+	}
+	if h.AgeSeconds() < 0 {
+		t.Fatal("negative table age")
+	}
+}

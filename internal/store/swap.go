@@ -1,0 +1,57 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Handle is an atomic hot-swap slot for decision tables. Readers call
+// Table() on every request and work with the returned snapshot; Swap
+// installs a replacement with a single pointer store, so lookups never
+// block on a reload and every request is answered from exactly one table —
+// old or new, never a mix.
+type Handle struct {
+	p atomic.Pointer[Table]
+	// swaps counts installs (including the initial one); loadedUnix is the
+	// wall time of the latest install, for table-age metrics.
+	swaps      atomic.Int64
+	loadedUnix atomic.Int64
+}
+
+// NewHandle creates a handle, optionally pre-loaded (t may be nil).
+func NewHandle(t *Table) *Handle {
+	h := &Handle{}
+	if t != nil {
+		h.Swap(t)
+	}
+	return h
+}
+
+// Table returns the current table snapshot (nil when none is loaded). The
+// result is immutable and remains valid after any number of swaps.
+func (h *Handle) Table() *Table { return h.p.Load() }
+
+// Swap atomically installs t and returns the previous table (nil on first
+// install). In-flight requests holding the old snapshot finish on it.
+func (h *Handle) Swap(t *Table) *Table {
+	old := h.p.Swap(t)
+	h.swaps.Add(1)
+	h.loadedUnix.Store(time.Now().Unix())
+	return old
+}
+
+// Swaps returns the number of installs so far.
+func (h *Handle) Swaps() int64 { return h.swaps.Load() }
+
+// LoadedUnix returns the wall time (Unix seconds) of the latest install,
+// 0 when nothing was ever installed.
+func (h *Handle) LoadedUnix() int64 { return h.loadedUnix.Load() }
+
+// AgeSeconds returns the seconds since the latest install (0 when empty).
+func (h *Handle) AgeSeconds() float64 {
+	lu := h.loadedUnix.Load()
+	if lu == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(lu, 0)).Seconds()
+}

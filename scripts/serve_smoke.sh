@@ -1,0 +1,46 @@
+#!/bin/sh
+# Serving smoke test: compile a tiny decision-table artifact, boot
+# collseld on it, and assert that the served answer (a) comes from the
+# table, (b) matches the recommendation a direct selection run computes
+# for the same spec, and (c) survives a /reload. SimCluster is noiseless
+# with perfect clocks, so one repetition is fully deterministic and the
+# two paths must agree exactly.
+set -eux
+
+addr=127.0.0.1:18177
+tmp=$(mktemp -d)
+pid=
+trap 'test -n "$pid" && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp" ./cmd/compilestore ./cmd/collseld ./cmd/selector
+
+"$tmp/compilestore" -machine SimCluster -colls alltoall -procs 8 \
+    -sizes 1024,32768 -o "$tmp/table.json"
+
+"$tmp/collseld" -store "$tmp/table.json" -addr "$addr" &
+pid=$!
+
+for _ in $(seq 1 50); do
+    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
+
+served=$(curl -sf "http://$addr/select?collective=alltoall&msg_bytes=1024&procs=8")
+echo "$served" | grep -q '"source":"table"'
+echo "$served" | grep -q '"exact":true'
+served_alg=$(echo "$served" | sed -n 's/.*"algorithm":{"id":[0-9]*,"name":"\([^"]*\)".*/\1/p')
+test -n "$served_alg"
+
+# The same selection computed directly (selector shares the compiler's
+# code path; -reps 1 matches the compile default on a noiseless machine).
+direct_alg=$("$tmp/selector" -machine SimCluster -coll alltoall -procs 8 \
+    -size 1024 -reps 1 | sed -n 's/^recommended (pattern-robust): *//p')
+test "$served_alg" = "$direct_alg"
+
+# Hot reload keeps serving the same content-addressed version.
+curl -sf -X POST "http://$addr/reload" | grep -q '"new_version"'
+curl -sf "http://$addr/select?collective=alltoall&msg_bytes=1024&procs=8" \
+    | grep -q "\"algorithm\":{\"id\":[0-9]*,\"name\":\"$served_alg\""
+
+echo "serve smoke OK: $served_alg"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz tools clean
+.PHONY: all build vet test race bench bench-json check chaos fuzz tools clean
 
 all: check
 
@@ -30,6 +30,12 @@ bench-json:
 
 # Tier-1 verification: what every change must keep green.
 check: build vet test race
+
+# Deterministic chaos harness for the serving layer: hanging/failing/slow
+# selections, shed bursts, breaker lifecycle, reload storms, drain — all
+# under the race detector, with a goroutine-leak check per scenario.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestBreaker|TestNegativeColdCaching|TestDrainStateMachine|TestFlightFollowerCancel' -count=1 -v ./internal/serve
 
 # Randomized end-to-end correctness: every fuzzed (collective, algorithm,
 # procs, size, seed) run validates payloads against a direct computation.

@@ -1,10 +1,15 @@
 // Command collseld serves algorithm selections over HTTP from a compiled
 // decision-table artifact (see compilestore). Queries the table covers are
 // answered in sub-microsecond time; everything else falls through to a
-// live selection guarded by coalescing and a bounded worker pool.
+// live selection guarded by coalescing, a bounded worker pool with a shed
+// queue (-cold-queue), a per-request deadline (-select-timeout) and a
+// circuit breaker (-breaker-*) that serves the nearest covered cell while
+// the live path is unhealthy.
 //
 // Endpoints: POST/GET /select, GET /healthz, POST /reload, GET /metrics.
-// SIGHUP also reloads the artifact; SIGINT/SIGTERM shut down gracefully.
+// SIGHUP also reloads the artifact; SIGINT/SIGTERM first drain (/healthz
+// reports draining so balancers stop routing here, stragglers still get
+// answers) for -drain, then shut down gracefully.
 //
 // Usage:
 //
@@ -36,6 +41,13 @@ func main() {
 	coldWorkers := flag.Int("cold-workers", 2, "max concurrent live selections for uncovered queries")
 	coldCache := flag.Int("cold-cache", 4096, "cold-result cache capacity (negative disables)")
 	noCold := flag.Bool("no-cold", false, "refuse uncovered queries with 404 instead of computing them")
+	coldQueue := flag.Int("cold-queue", 8, "cold requests allowed to wait for a worker; excess is shed with 429 (negative: no waiting)")
+	selectTimeout := flag.Duration("select-timeout", 30*time.Second, "per-request deadline for cold selections, enforced down into the simulation workers (0 disables)")
+	negRetries := flag.Int("negative-retries", 2, "recompute budget for a cached cold-path failure (negative disables negative caching)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive cold failures that trip the circuit breaker open")
+	breakerOpen := flag.Duration("breaker-open", 10*time.Second, "breaker cooldown before the half-open probe")
+	breakerSlow := flag.Duration("breaker-slowcall", 0, "cold selections slower than this count as breaker failures (0 disables)")
+	drainWait := flag.Duration("drain", 10*time.Second, "grace period between SIGTERM (healthz flips to draining) and shutdown")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "collseld: ", log.LstdFlags)
@@ -47,12 +59,20 @@ func main() {
 	logger.Printf("loaded %s: table %s for %s, %d cells", *storePath, tb.Version, tb.Machine, tb.Cells())
 
 	srv, err := serve.New(serve.Config{
-		Handle:       store.NewHandle(tb),
-		StorePath:    *storePath,
-		ColdDisabled: *noCold,
-		ColdWorkers:  *coldWorkers,
-		ColdCacheCap: *coldCache,
-		Logf:         logger.Printf,
+		Handle:          store.NewHandle(tb),
+		StorePath:       *storePath,
+		ColdDisabled:    *noCold,
+		ColdWorkers:     *coldWorkers,
+		ColdCacheCap:    *coldCache,
+		ColdQueue:       *coldQueue,
+		SelectTimeout:   *selectTimeout,
+		NegativeRetries: *negRetries,
+		Breaker: serve.BreakerConfig{
+			Failures: *breakerFailures,
+			OpenFor:  *breakerOpen,
+			SlowCall: *breakerSlow,
+		},
+		Logf: logger.Printf,
 	})
 	if err != nil {
 		cliutil.Fatal("collseld", err)
@@ -89,6 +109,22 @@ func main() {
 			cliutil.Fatal("collseld", err)
 		}
 	case <-ctx.Done():
+		// Drain before shutdown: /healthz flips to draining (503) so load
+		// balancers stop routing here, then the grace period lets routed
+		// stragglers arrive and finish before the listener closes. A second
+		// signal during the drain skips straight to shutdown.
+		stop()
+		srv.StartDrain()
+		if *drainWait > 0 {
+			logger.Printf("draining for up to %s (send another signal to skip)", *drainWait)
+			again, cancelAgain := cliutil.SignalContext()
+			select {
+			case <-time.After(*drainWait):
+			case <-again.Done():
+				logger.Printf("second signal: skipping drain")
+			}
+			cancelAgain()
+		}
 		logger.Printf("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

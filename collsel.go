@@ -464,6 +464,13 @@ func Select(cfg SelectConfig) (*Selection, error) {
 // per-cell seeds derived from grid coordinates, so the outcome is
 // bit-identical at any parallelism; finished cells are memoized in a
 // process-wide cache, so repeating an identical selection is free.
+//
+// Cancellation is cooperative all the way down: when ctx is cancelled (or
+// its deadline passes), in-flight simulation kernels abort promptly
+// mid-grid rather than running their cells to completion, and the aborted
+// partial results are never memoized — a retry under a live context
+// recomputes them. Cancellation is wall-clock control, not cell identity:
+// it can never change the bit-identical result of a completed selection.
 func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selection, error) {
 	for _, o := range opts {
 		o(&cfg)

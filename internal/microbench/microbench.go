@@ -65,6 +65,12 @@ type Config struct {
 	// WatchdogNs aborts the run with a blocked-process diagnostic if the
 	// simulation's virtual time would exceed it; 0 disables the watchdog.
 	WatchdogNs int64
+	// Cancel, when non-nil, cooperatively cancels the run: closing it makes
+	// the simulation abort with an error wrapping context.Canceled instead
+	// of burning CPU to completion. It is wall-clock control, not part of
+	// the cell's identity — runner.CellKey excludes it, so configs differing
+	// only in Cancel share a cache entry.
+	Cancel <-chan struct{}
 }
 
 // RepMetrics holds the metrics of one repetition, in nanoseconds on the
@@ -137,6 +143,7 @@ func Run(cfg Config) (Result, error) {
 		NoNoise:       cfg.NoNoise,
 		Fault:         cfg.Faults,
 		DeadlineNs:    cfg.WatchdogNs,
+		Cancel:        cfg.Cancel,
 	})
 	if err != nil {
 		return Result{}, err

@@ -62,6 +62,10 @@ type Config struct {
 	// diagnostic listing every blocked process if it would run past this
 	// virtual time. 0 disables the watchdog.
 	DeadlineNs int64
+	// Cancel, when non-nil, is polled by the kernel's event loop; closing it
+	// aborts Run with sim.ErrCanceled (cooperative wall-clock cancellation,
+	// typically a context's Done channel). nil disables the checks.
+	Cancel <-chan struct{}
 }
 
 // NewWorld creates a world of cfg.Size ranks.
@@ -94,6 +98,9 @@ func NewWorld(cfg Config) (*World, error) {
 	w.fault = fault.NewPlan(p, cfg.Size, cfg.Seed, cfg.Fault)
 	if cfg.DeadlineNs > 0 {
 		w.K.SetDeadline(cfg.DeadlineNs)
+	}
+	if cfg.Cancel != nil {
+		w.K.SetCancel(cfg.Cancel)
 	}
 	w.ranks = make([]*Rank, cfg.Size)
 	for i := 0; i < cfg.Size; i++ {

@@ -2,6 +2,8 @@ package runner
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -158,6 +160,16 @@ func (c *Cache) do(key string, run func() (microbench.Result, error)) (res micro
 
 	c.mu.Lock()
 	close(e.ready)
+	if e.err != nil && errors.Is(e.err, context.Canceled) {
+		// A canceled run is a property of the canceled caller, not of the
+		// cell: drop the entry so the next requester recomputes instead of
+		// inheriting a poisoned result. Waiters already coalesced onto this
+		// flight see the error and retry (Engine.eval).
+		if c.order != nil && e.elem != nil {
+			c.order.Remove(e.elem)
+		}
+		delete(c.entries, key)
+	}
 	c.evictLocked()
 	c.mu.Unlock()
 	return e.res, e.err, false

@@ -193,7 +193,7 @@ func (e *Engine) MapAll(ctx context.Context, cells []Cell, opts ...Option) ([]mi
 					errs[i] = err
 					continue
 				}
-				res, err, hit := run.eval(cells[i].Config)
+				res, err, hit := run.eval(ctx, cells[i].Config)
 				results[i], errs[i] = res, err
 				if err == nil {
 					report(i, hit)
@@ -213,6 +213,12 @@ func (e *Engine) MapAll(ctx context.Context, cells []Cell, opts ...Option) ([]mi
 			continue
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Prefer the context's own error: a cell aborted by cooperative
+			// cancellation reports sim.ErrCanceled (wrapping context.Canceled)
+			// even when the cause was a deadline expiring.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
 			return nil, nil, err
 		}
 		cellErrs = append(cellErrs, &CellError{Index: i, Label: cells[i].Label, Err: err})
@@ -220,18 +226,30 @@ func (e *Engine) MapAll(ctx context.Context, cells []Cell, opts ...Option) ([]mi
 	return results, cellErrs, nil
 }
 
-// eval runs one cell, through the cache when one is installed.
-func (e *Engine) eval(cfg microbench.Config) (microbench.Result, error, bool) {
+// eval runs one cell, through the cache when one is installed. The cell
+// simulation polls ctx.Done() cooperatively, so a canceled Map stops
+// burning CPU instead of finishing doomed simulations.
+func (e *Engine) eval(ctx context.Context, cfg microbench.Config) (microbench.Result, error, bool) {
+	cfg.Cancel = ctx.Done()
 	if e.cache == nil {
 		res, err := microbench.Run(cfg)
 		return res, err, false
 	}
-	res, err, hit := e.cache.do(CellKey(cfg), func() (microbench.Result, error) {
-		return microbench.Run(cfg)
-	})
-	// Callers own their Result; detach the shared Reps slice.
-	res.Reps = append([]microbench.RepMetrics(nil), res.Reps...)
-	return res, err, hit
+	key := CellKey(cfg) // excludes Cancel: coalesced callers share the entry
+	for {
+		res, err, hit := e.cache.do(key, func() (microbench.Result, error) {
+			return microbench.Run(cfg)
+		})
+		if hit && err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// We coalesced onto a leader whose run was canceled; the cache
+			// dropped that entry, so retrying makes this caller the new
+			// leader computing under its own (live) context.
+			continue
+		}
+		// Callers own their Result; detach the shared Reps slice.
+		res.Reps = append([]microbench.RepMetrics(nil), res.Reps...)
+		return res, err, hit
+	}
 }
 
 // --- Seed derivation ---------------------------------------------------------

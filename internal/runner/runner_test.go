@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"collsel/internal/coll"
 	"collsel/internal/microbench"
@@ -275,5 +276,78 @@ func TestCacheLRUUnboundedWhenCapZero(t *testing.T) {
 	}
 	if c.Len() != 5 || c.Stats().Evictions != 0 {
 		t.Errorf("len=%d evictions=%d, want 5 and 0", c.Len(), c.Stats().Evictions)
+	}
+}
+
+// TestMapCancelStopsRunningCell: cancellation must reach *inside* a running
+// simulation (cooperative kernel checks), not just skip unstarted cells.
+// A huge cell that would take many seconds is canceled shortly after it
+// starts; Map must return well before the cell could have finished.
+func TestMapCancelStopsRunningCell(t *testing.T) {
+	al, ok := coll.ByID(coll.Alltoall, 3) // bruck
+	if !ok {
+		t.Fatal("no alltoall algorithm 3")
+	}
+	cell := Cell{
+		Label: "huge",
+		Config: microbench.Config{
+			Platform:      netmodel.SimCluster(),
+			Procs:         8,
+			Seed:          1,
+			Algorithm:     al,
+			Count:         1 << 14,
+			Reps:          200, // far more work than any test should do
+			PerfectClocks: true,
+			NoNoise:       true,
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(WithWorkers(1))
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := eng.Map(ctx, []Cell{cell})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the simulation start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Map returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	t.Logf("canceled after %v", time.Since(start))
+
+	// The engine stays usable after a cancellation: a fresh (tiny) cell on a
+	// live context computes cleanly. (Key-level non-poisoning is covered by
+	// TestCacheDropsCanceledEntries.)
+	cell.Config.Reps = 1
+	cell.Config.Count = 16
+	if _, err := eng.Map(context.Background(), []Cell{cell}); err != nil {
+		t.Fatalf("Map after cancellation: %v", err)
+	}
+}
+
+// TestCacheDropsCanceledEntries: a canceled leader's error is not memoized;
+// the next requester of the same key recomputes and succeeds.
+func TestCacheDropsCanceledEntries(t *testing.T) {
+	c := NewCache()
+	key := "k"
+	if _, err, _ := c.do(key, func() (microbench.Result, error) {
+		return microbench.Result{}, fmt.Errorf("wrapped: %w", context.Canceled)
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatal("canceled run did not report cancellation")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("canceled entry memoized (len %d)", c.Len())
+	}
+	res, err, hit := c.do(key, func() (microbench.Result, error) {
+		return microbench.Result{Procs: 7}, nil
+	})
+	if err != nil || hit || res.Procs != 7 {
+		t.Fatalf("recompute after canceled entry: res=%+v err=%v hit=%v", res, err, hit)
 	}
 }

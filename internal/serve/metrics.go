@@ -25,6 +25,13 @@ type metrics struct {
 	coalesced     atomic.Int64 // requests that waited on an in-flight twin
 	inflightCold  atomic.Int64 // cold selections currently executing
 
+	// Overload and degradation accounting.
+	shed             atomic.Int64 // cold requests refused with 429 (queue full)
+	deadlineExceeded atomic.Int64 // selections that hit the per-request deadline
+	clientCancels    atomic.Int64 // requests abandoned by the client (499)
+	negativeHits     atomic.Int64 // cold queries answered from a cached failure
+	degradedAnswers  atomic.Int64 // nearest-cell answers served with breaker open
+
 	// latency is the /select latency histogram.
 	latency histogram
 }
@@ -81,8 +88,10 @@ func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()
 
 // render writes the Prometheus text exposition. tableInfo supplies the
 // gauges that depend on the currently loaded table (version, age, cells,
-// swaps); it is read at scrape time so a hot swap is visible immediately.
-func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, ageSec float64, cells int, swaps int64)) {
+// swaps); serveInfo supplies the overload gauges (breaker state, cumulative
+// breaker opens, cold wait-queue depth). Both are read at scrape time so a
+// hot swap or a breaker transition is visible immediately.
+func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, ageSec float64, cells int, swaps int64), serveInfo func() (breakerState int, breakerOpens int64, queueDepth int64)) {
 	fmt.Fprintf(b, "# HELP collseld_requests_total Finished HTTP requests.\n")
 	fmt.Fprintf(b, "# TYPE collseld_requests_total counter\n")
 	m.requestsMu.Lock()
@@ -109,10 +118,21 @@ func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, a
 	counter("collseld_cold_computes_total", "Live selections executed for cold cells.", m.coldComputes.Load())
 	counter("collseld_cold_cache_hits_total", "Select queries answered from the cold-result cache.", m.coldCacheHits.Load())
 	counter("collseld_coalesced_total", "Select queries coalesced onto an in-flight selection.", m.coalesced.Load())
+	counter("collseld_shed_total", "Cold requests shed with 429 (wait queue full).", m.shed.Load())
+	counter("collseld_deadline_exceeded_total", "Select requests that exceeded the selection deadline.", m.deadlineExceeded.Load())
+	counter("collseld_client_cancel_total", "Select requests abandoned by the client (499).", m.clientCancels.Load())
+	counter("collseld_negative_cache_hits_total", "Cold queries answered from a cached failure.", m.negativeHits.Load())
+	counter("collseld_degraded_answers_total", "Nearest-cell answers served while the circuit breaker was open.", m.degradedAnswers.Load())
 
-	fmt.Fprintf(b, "# HELP collseld_inflight_cold Cold selections currently executing.\n")
-	fmt.Fprintf(b, "# TYPE collseld_inflight_cold gauge\n")
-	fmt.Fprintf(b, "collseld_inflight_cold %d\n", m.inflightCold.Load())
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("collseld_inflight_cold", "Cold selections currently executing.", m.inflightCold.Load())
+
+	breakerState, breakerOpens, queueDepth := serveInfo()
+	gauge("collseld_breaker_state", "Circuit breaker state (0=closed, 1=half-open, 2=open).", int64(breakerState))
+	counter("collseld_breaker_opens_total", "Times the circuit breaker tripped open.", breakerOpens)
+	gauge("collseld_cold_queue_depth", "Cold requests waiting for a worker slot.", queueDepth)
 
 	fmt.Fprintf(b, "# HELP collseld_select_latency_seconds Select request latency.\n")
 	fmt.Fprintf(b, "# TYPE collseld_select_latency_seconds histogram\n")

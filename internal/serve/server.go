@@ -14,8 +14,10 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -71,6 +73,28 @@ type Config struct {
 	// ColdCacheCap bounds the cold-result cache (default 4096 entries;
 	// negative disables caching).
 	ColdCacheCap int
+	// ColdQueue bounds how many cold requests may wait for a worker slot
+	// beyond the ColdWorkers already computing; excess load is shed with
+	// 429 + Retry-After. Default 8; negative means no waiting at all (shed
+	// the moment every worker is busy).
+	ColdQueue int
+	// SelectTimeout is the per-request deadline for the cold path: it
+	// bounds queue wait + live selection, and is plumbed as a context all
+	// the way into the simulation workers, which poll it cooperatively — a
+	// timed-out selection stops burning CPU. 0 disables deadlines.
+	SelectTimeout time.Duration
+	// NegativeRetries is the recompute budget of a cached cold-path
+	// failure: the first NegativeRetries repeat requests for a failing cell
+	// recompute it; after that the cached failure is served without
+	// touching the worker pool. Default 2; negative disables negative
+	// caching entirely.
+	NegativeRetries int
+	// Breaker parameterizes the circuit breaker on the live-selection path;
+	// the zero value uses the defaults (5 consecutive failures trip it open
+	// for 10s, then one half-open probe).
+	Breaker BreakerConfig
+	// RetryAfter is the hint stamped on 429/503 responses (default 1s).
+	RetryAfter time.Duration
 	// Logf, when non-nil, receives one line per reload and cold compute.
 	Logf func(format string, args ...any)
 }
@@ -81,14 +105,28 @@ type Server struct {
 	handle  *store.Handle
 	metrics *metrics
 	flights *flightGroup
-	// coldSem is the bounded cold-selection pool.
-	coldSem chan struct{}
-	// coldCache memoizes computed cold cells by query key with FIFO
-	// eviction (coldOrder); a repeated cold query costs a map read.
+	// cold is the cold path's admission controller: worker pool + bounded
+	// wait queue; breaker is the circuit breaker in front of it; drain is
+	// the SIGTERM latch. Together they form the degradation ladder: table
+	// hit → coalesced live selection → nearest-degraded → shed.
+	cold    *admission
+	breaker *breaker
+	drain   drainFlag
+	// coldCache memoizes computed cold cells — and, with a retry budget,
+	// cold failures — by query key with FIFO eviction (coldOrder); a
+	// repeated cold query costs a map read.
 	coldMu    sync.Mutex
-	coldCache map[string]store.Cell
+	coldCache map[string]coldEntry
 	coldOrder []string
 	started   time.Time
+}
+
+// coldEntry is one cold-cache slot: a computed cell, or (errMsg non-empty)
+// a cached failure with a remaining recompute budget.
+type coldEntry struct {
+	cell    store.Cell
+	errMsg  string
+	retries int
 }
 
 // New creates a Server over a handle. The handle may be empty (no table);
@@ -106,16 +144,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ColdCacheCap == 0 {
 		cfg.ColdCacheCap = 4096
 	}
+	if cfg.ColdQueue == 0 {
+		cfg.ColdQueue = 8
+	}
+	if cfg.ColdQueue < 0 {
+		cfg.ColdQueue = 0 // no waiting: shed when every worker is busy
+	}
+	if cfg.NegativeRetries == 0 {
+		cfg.NegativeRetries = 2
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		handle:  cfg.Handle,
 		metrics: newMetrics(),
 		flights: newFlightGroup(),
-		coldSem: make(chan struct{}, cfg.ColdWorkers),
+		cold:    newAdmission(cfg.ColdWorkers, int64(cfg.ColdQueue)),
+		breaker: newBreaker(cfg.Breaker, nil),
 		started: time.Now(),
 	}
 	if cfg.ColdCacheCap > 0 {
-		s.coldCache = map[string]store.Cell{}
+		s.coldCache = map[string]coldEntry{}
 	}
 	return s, nil
 }
@@ -160,11 +211,18 @@ type SelectResponse struct {
 	Conventional store.AlgoRef `json:"conventional"`
 	Degraded     bool          `json:"degraded,omitempty"`
 	Excluded     []string      `json:"excluded,omitempty"`
-	// Source tells where the answer came from: "table", "cold_cache" or
-	// "computed". Exact is false when a table answer came from a bin rather
-	// than the exact compiled size.
+	// Source tells where the answer came from: "table", "cold_cache",
+	// "computed" or "nearest-degraded" (circuit breaker open; the answer is
+	// the closest covered cell, with AnsweredProcs/AnsweredMsgBytes holding
+	// the compiled coordinates it was actually built for). Exact is false
+	// when the answer came from a bin or a nearby cell rather than the exact
+	// compiled size.
 	Source string `json:"source"`
 	Exact  bool   `json:"exact"`
+	// AnsweredProcs and AnsweredMsgBytes are set only on nearest-degraded
+	// answers: the grid point that actually answered.
+	AnsweredProcs    int `json:"answered_procs,omitempty"`
+	AnsweredMsgBytes int `json:"answered_msg_bytes,omitempty"`
 	// TableVersion is the version of the table that answered (also set for
 	// cold answers: they are computed under that table's provenance).
 	TableVersion string `json:"table_version"`
@@ -253,26 +311,64 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := fmt.Sprintf("%s|%s|%d|%d", t.Version, c, req.Procs, req.MsgBytes)
-	if cell, ok := s.coldLookup(key); ok {
+	entry, verdict := s.coldConsult(key)
+	switch verdict {
+	case coldHitPositive:
 		s.metrics.coldCacheHits.Add(1)
-		fillFromCell(&resp, cell, "cold_cache", true)
+		fillFromCell(&resp, entry.cell, "cold_cache", true)
 		s.metrics.latency.observe(time.Since(start).Seconds())
 		s.writeJSON(w, "select", http.StatusOK, resp)
 		return
+	case coldHitNegative:
+		s.metrics.negativeHits.Add(1)
+		s.httpError(w, "select", http.StatusInternalServerError,
+			"cold selection failed (cached, retry budget exhausted): %s", entry.errMsg)
+		return
 	}
 
-	cell, err, coalesced := s.flights.do(r.Context(), key, func() (store.Cell, error) {
-		s.coldSem <- struct{}{}
-		defer func() { <-s.coldSem }()
+	// reqCtx bounds this request's wait on the cold path (queue time plus
+	// the leader's selection); the leader itself computes on a detached work
+	// context below, so a cancelled requester never aborts work that other
+	// coalesced waiters — or the cache — will still use.
+	reqCtx := r.Context()
+	if s.cfg.SelectTimeout > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, s.cfg.SelectTimeout)
+		defer cancel()
+	}
+
+	cell, err, coalesced := s.flights.do(reqCtx, key, func() (store.Cell, error) {
+		workCtx := context.Background()
+		if s.cfg.SelectTimeout > 0 {
+			var cancel context.CancelFunc
+			workCtx, cancel = context.WithTimeout(workCtx, s.cfg.SelectTimeout)
+			defer cancel()
+		}
+		release, err := s.cold.acquire(workCtx)
+		if err != nil {
+			return store.Cell{}, err
+		}
+		defer release()
+		// The breaker check sits after admission so an admitted probe is
+		// guaranteed to run and be recorded — a probe refused by a full
+		// queue would otherwise wedge the breaker in half-open.
+		if !s.breaker.allow() {
+			return store.Cell{}, errBreakerOpen
+		}
 		s.metrics.inflightCold.Add(1)
 		defer s.metrics.inflightCold.Add(-1)
 		s.metrics.coldComputes.Add(1)
 		s.logf("cold select: %s %d procs %d B (table %s)", c, req.Procs, req.MsgBytes, t.Version)
-		// Detached context: a cancelled requester must not abort a
-		// selection other coalesced waiters (and the cache) will use.
-		cell, err := s.cfg.Cold(context.Background(), t, c, req.Procs, req.MsgBytes)
+		began := time.Now()
+		cell, err := s.cfg.Cold(workCtx, t, c, req.Procs, req.MsgBytes)
+		s.breaker.record(time.Since(began), err)
 		if err == nil {
-			s.coldStore(key, cell)
+			s.coldStore(key, coldEntry{cell: cell})
+		} else if !isTransient(err) {
+			// Cache the failure with a recompute budget: a cell that is
+			// structurally unservable (model drift, oversized procs) should
+			// not re-occupy a worker on every repeat request.
+			s.coldStore(key, coldEntry{errMsg: err.Error(), retries: s.cfg.NegativeRetries})
 		}
 		return cell, err
 	})
@@ -280,16 +376,66 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.metrics.coalesced.Add(1)
 	}
 	if err != nil {
-		if r.Context().Err() != nil {
-			s.httpError(w, "select", 499, "client cancelled: %v", err) // nginx's client-closed-request
-			return
-		}
-		s.httpError(w, "select", http.StatusBadGateway, "cold selection failed: %v", err)
+		s.writeSelectError(w, r, t, c, &resp, err)
 		return
 	}
 	fillFromCell(&resp, cell, "computed", true)
 	s.metrics.latency.observe(time.Since(start).Seconds())
 	s.writeJSON(w, "select", http.StatusOK, resp)
+}
+
+// isTransient reports whether a cold-path error says nothing durable about
+// the cell itself — shed load, cancellations and deadline hits must not be
+// negative-cached, or a transient overload would poison the cell.
+func isTransient(err error) bool {
+	return errors.Is(err, errShed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryAfter stamps the Retry-After hint; call before httpError.
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// writeSelectError maps a cold-path failure to the response the degradation
+// ladder prescribes: breaker-open requests get the nearest covered cell
+// (200, source "nearest-degraded") or 503 when the table has nothing close;
+// shed load gets 429 + Retry-After; an abandoned request gets 499 (nginx's
+// client-closed-request, kept out of the 5xx error rate); a deadline hit
+// gets 503 + Retry-After; only a genuine selection failure is a 500.
+func (s *Server) writeSelectError(w http.ResponseWriter, r *http.Request, t *store.Table, c coll.Collective, resp *SelectResponse, err error) {
+	switch {
+	case errors.Is(err, errBreakerOpen):
+		if lk, ok := t.Nearest(c, resp.Procs, resp.MsgBytes); ok {
+			s.metrics.degradedAnswers.Add(1)
+			fillFromCell(resp, lk.Cell, "nearest-degraded", false)
+			resp.AnsweredProcs = lk.Procs
+			resp.AnsweredMsgBytes = lk.MsgBytes
+			s.writeJSON(w, "select", http.StatusOK, *resp)
+			return
+		}
+		s.retryAfter(w)
+		s.httpError(w, "select", http.StatusServiceUnavailable,
+			"live selection unavailable (circuit breaker open) and no nearby cell to degrade to")
+	case errors.Is(err, errShed):
+		s.metrics.shed.Add(1)
+		s.retryAfter(w)
+		s.httpError(w, "select", http.StatusTooManyRequests, "%v", err)
+	case r.Context().Err() != nil:
+		s.metrics.clientCancels.Add(1)
+		s.httpError(w, "select", 499, "client cancelled: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.deadlineExceeded.Add(1)
+		s.retryAfter(w)
+		s.httpError(w, "select", http.StatusServiceUnavailable, "selection deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		s.httpError(w, "select", http.StatusServiceUnavailable, "selection cancelled: %v", err)
+	default:
+		s.httpError(w, "select", http.StatusInternalServerError, "cold selection failed: %v", err)
+	}
 }
 
 func fillFromCell(resp *SelectResponse, cell store.Cell, source string, exact bool) {
@@ -304,23 +450,54 @@ func fillFromCell(resp *SelectResponse, cell store.Cell, source string, exact bo
 	resp.Exact = exact
 }
 
-func (s *Server) coldLookup(key string) (store.Cell, bool) {
+// coldVerdict classifies a cold-cache consult.
+type coldVerdict int
+
+const (
+	coldMiss        coldVerdict = iota // not cached (or a retry was granted)
+	coldHitPositive                    // cached computed cell
+	coldHitNegative                    // cached failure, retry budget spent
+)
+
+// coldConsult looks up key. A cached failure with retries left burns one
+// retry and reports a miss, letting the caller recompute; once the budget is
+// spent the cached failure is served without touching the worker pool.
+func (s *Server) coldConsult(key string) (coldEntry, coldVerdict) {
 	if s.coldCache == nil {
-		return store.Cell{}, false
+		return coldEntry{}, coldMiss
 	}
 	s.coldMu.Lock()
 	defer s.coldMu.Unlock()
-	cell, ok := s.coldCache[key]
-	return cell, ok
+	e, ok := s.coldCache[key]
+	if !ok {
+		return coldEntry{}, coldMiss
+	}
+	if e.errMsg == "" {
+		return e, coldHitPositive
+	}
+	if e.retries > 0 {
+		e.retries--
+		s.coldCache[key] = e
+		return e, coldMiss
+	}
+	return e, coldHitNegative
 }
 
-func (s *Server) coldStore(key string, cell store.Cell) {
+func (s *Server) coldStore(key string, e coldEntry) {
 	if s.coldCache == nil {
 		return
 	}
+	if e.errMsg != "" && s.cfg.NegativeRetries < 0 {
+		return // negative caching disabled
+	}
 	s.coldMu.Lock()
 	defer s.coldMu.Unlock()
-	if _, ok := s.coldCache[key]; ok {
+	if old, ok := s.coldCache[key]; ok {
+		// A computed cell replaces a cached failure (a retry succeeded);
+		// nothing ever replaces a computed cell.
+		if old.errMsg != "" && e.errMsg == "" {
+			s.coldCache[key] = e
+		}
 		return
 	}
 	for len(s.coldCache) >= s.cfg.ColdCacheCap && len(s.coldOrder) > 0 {
@@ -328,13 +505,18 @@ func (s *Server) coldStore(key string, cell store.Cell) {
 		s.coldOrder = s.coldOrder[1:]
 		delete(s.coldCache, oldest)
 	}
-	s.coldCache[key] = cell
+	s.coldCache[key] = e
 	s.coldOrder = append(s.coldOrder, key)
 }
 
-// HealthResponse is the /healthz answer.
+// HealthResponse is the /healthz answer. Status walks the health state
+// machine: "healthy", "degraded" (breaker open: every query is still
+// answered, some at reduced quality), "draining" (SIGTERM received) or
+// "no table".
 type HealthResponse struct {
 	Status        string  `json:"status"`
+	Breaker       string  `json:"breaker"`
+	Draining      bool    `json:"draining,omitempty"`
 	TableVersion  string  `json:"table_version,omitempty"`
 	TableAgeSec   float64 `json:"table_age_seconds,omitempty"`
 	TableCells    int     `json:"table_cells,omitempty"`
@@ -343,19 +525,21 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	t := s.handle.Table()
-	resp := HealthResponse{UptimeSeconds: time.Since(s.started).Seconds()}
-	if t == nil {
-		resp.Status = "no table"
-		s.writeJSON(w, "healthz", http.StatusServiceUnavailable, resp)
-		return
+	state, code := s.healthState()
+	bst, _ := s.breaker.snapshot()
+	resp := HealthResponse{
+		Status:        state,
+		Breaker:       breakerStateName(bst),
+		Draining:      s.Draining(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
-	resp.Status = "ok"
-	resp.TableVersion = t.Version
-	resp.TableAgeSec = s.handle.AgeSeconds()
-	resp.TableCells = t.Cells()
-	resp.Machine = t.Machine
-	s.writeJSON(w, "healthz", http.StatusOK, resp)
+	if t := s.handle.Table(); t != nil {
+		resp.TableVersion = t.Version
+		resp.TableAgeSec = s.handle.AgeSeconds()
+		resp.TableCells = t.Cells()
+		resp.Machine = t.Machine
+	}
+	s.writeJSON(w, "healthz", code, resp)
 }
 
 // ReloadResponse is the /reload answer.
@@ -408,6 +592,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return "none", 0, 0, s.handle.Swaps()
 		}
 		return t.Version, s.handle.AgeSeconds(), t.Cells(), s.handle.Swaps()
+	}, func() (int, int64, int64) {
+		st, opens := s.breaker.snapshot()
+		return st, opens, s.cold.depth()
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

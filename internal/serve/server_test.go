@@ -348,8 +348,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+	if resp.StatusCode != http.StatusOK || health.Status != HealthHealthy {
 		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+	if health.Breaker != "closed" {
+		t.Fatalf("healthz breaker: %+v", health)
 	}
 	if health.TableVersion != tb.Version || health.TableCells != tb.Cells() || health.Machine != "SimCluster" {
 		t.Fatalf("healthz table info: %+v", health)
@@ -374,6 +377,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"collseld_table_cells 2",
 		"collseld_table_swaps_total 1",
 		"collseld_coalesced_total 0",
+		"collseld_breaker_state 0",
+		"collseld_shed_total 0",
+		"collseld_cold_queue_depth 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)

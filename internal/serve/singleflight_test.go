@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"collsel/internal/store"
+)
+
+// TestFlightFollowerCancelDoesNotPoisonLeader pins the coalescing
+// cancellation contract: a follower whose context dies while waiting on the
+// leader returns promptly with its own context error, while the leader's
+// computation finishes untouched and its result is delivered to the
+// patient waiters.
+func TestFlightFollowerCancelDoesNotPoisonLeader(t *testing.T) {
+	g := newFlightGroup()
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	want := store.Cell{MsgBytes: 64, Winner: store.AlgoRef{ID: 9, Name: "leader"}, Score: 1}
+
+	type result struct {
+		cell      store.Cell
+		err       error
+		coalesced bool
+	}
+	leaderDone := make(chan result, 1)
+	go func() {
+		cell, err, coalesced := g.do(context.Background(), "k", func() (store.Cell, error) {
+			close(leaderStarted)
+			<-release
+			return want, nil
+		})
+		leaderDone <- result{cell, err, coalesced}
+	}()
+	<-leaderStarted
+
+	// A patient follower joins the flight.
+	patientDone := make(chan result, 1)
+	go func() {
+		cell, err, coalesced := g.do(context.Background(), "k", func() (store.Cell, error) {
+			t.Error("patient follower ran the function itself")
+			return store.Cell{}, nil
+		})
+		patientDone <- result{cell, err, coalesced}
+	}()
+
+	// An impatient follower joins and cancels: it must return promptly —
+	// well before the leader finishes — with its own context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	impatientDone := make(chan result, 1)
+	go func() {
+		cell, err, coalesced := g.do(ctx, "k", func() (store.Cell, error) {
+			t.Error("impatient follower ran the function itself")
+			return store.Cell{}, nil
+		})
+		impatientDone <- result{cell, err, coalesced}
+	}()
+	cancel()
+	select {
+	case r := <-impatientDone:
+		if !errors.Is(r.err, context.Canceled) || !r.coalesced {
+			t.Fatalf("cancelled follower: err=%v coalesced=%v", r.err, r.coalesced)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower did not return while the leader was still computing")
+	}
+
+	// The leader (and the patient follower) are unaffected by the
+	// cancellation next to them. Give the patient follower time to pile
+	// onto the flight before releasing (same idiom as TestColdCoalescing).
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	for name, ch := range map[string]chan result{"leader": leaderDone, "patient follower": patientDone} {
+		select {
+		case r := <-ch:
+			if r.err != nil || r.cell.Winner != want.Winner {
+				t.Fatalf("%s: cell=%+v err=%v", name, r.cell, r.err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s never completed", name)
+		}
+	}
+
+	// The flight is gone: a fresh call becomes a new leader.
+	ran := false
+	if _, err, coalesced := g.do(context.Background(), "k", func() (store.Cell, error) {
+		ran = true
+		return want, nil
+	}); err != nil || coalesced || !ran {
+		t.Fatalf("post-flight call: err=%v coalesced=%v ran=%v", err, coalesced, ran)
+	}
+}

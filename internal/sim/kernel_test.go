@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEmptyKernelRuns(t *testing.T) {
@@ -462,5 +465,112 @@ func TestEventExactlyAtDeadlineStillRuns(t *testing.T) {
 	}
 	if !fired {
 		t.Fatal("event at the deadline must still run")
+	}
+}
+
+// TestSetCancelAbortsRun: a closed cancel channel stops a self-perpetuating
+// event chain that would otherwise run forever, and the error classifies as
+// context.Canceled.
+func TestSetCancelAbortsRun(t *testing.T) {
+	k := NewKernel()
+	cancel := make(chan struct{})
+	events := 0
+	var step func()
+	step = func() {
+		events++
+		if events == 10*cancelCheckInterval {
+			close(cancel) // picked up at the next poll point
+		}
+		k.After(1, step)
+	}
+	k.After(0, step)
+	k.SetCancel(cancel)
+	err := k.Run()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v", err)
+	}
+	if events > 11*cancelCheckInterval {
+		t.Fatalf("ran %d events after cancellation (poll interval %d)", events, cancelCheckInterval)
+	}
+}
+
+// TestAbortUnwindsProcessGoroutines: every early-terminated run — canceled,
+// failed, watchdogged or deadlocked — must resume its blocked processes so
+// their goroutines exit instead of staying parked forever. A long-lived
+// server canceling selections would otherwise leak goroutines per rank.
+func TestAbortUnwindsProcessGoroutines(t *testing.T) {
+	const procs = 16
+	abortsOf := map[string]func(k *Kernel) error{
+		"cancel": func(k *Kernel) error {
+			// Close the channel mid-run, once the processes are blocked,
+			// and keep the event chain alive until a poll picks it up.
+			cancel := make(chan struct{})
+			n := 0
+			var step func()
+			step = func() {
+				n++
+				if n == 10 {
+					close(cancel)
+				}
+				if n < 3*cancelCheckInterval {
+					k.After(1, step)
+				}
+			}
+			k.After(0, step)
+			k.SetCancel(cancel)
+			return k.Run()
+		},
+		"fail": func(k *Kernel) error {
+			k.After(5, func() { k.Fail(fmt.Errorf("boom")) })
+			return k.Run()
+		},
+		"watchdog": func(k *Kernel) error {
+			k.SetDeadline(10)
+			k.After(100, func() {}) // first event already past the deadline
+			return k.Run()
+		},
+		"deadlock": func(k *Kernel) error {
+			return k.Run()
+		},
+	}
+	for name, run := range abortsOf {
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			k := NewKernel()
+			exited := make(chan struct{}, procs)
+			for i := 0; i < procs; i++ {
+				k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+					defer func() {
+						exited <- struct{}{}
+						// Re-panic so the Spawn wrapper still sees the
+						// abort signal and completes the handshake.
+						if r := recover(); r != nil {
+							panic(r)
+						}
+					}()
+					var c Cond
+					c.Wait(p, "forever") // never signaled
+				})
+			}
+			if err := run(k); err == nil {
+				t.Fatal("aborted run returned nil error")
+			}
+			// Every process goroutine must have unwound through its defers.
+			for i := 0; i < procs; i++ {
+				select {
+				case <-exited:
+				case <-time.After(2 * time.Second):
+					t.Fatalf("only %d/%d processes unwound", i, procs)
+				}
+			}
+			// And the goroutines themselves must be gone.
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if n := runtime.NumGoroutine(); n > before {
+				t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+			}
+		})
 	}
 }

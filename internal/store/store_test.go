@@ -259,3 +259,72 @@ func TestHandleHotSwap(t *testing.T) {
 		t.Fatal("negative table age")
 	}
 }
+
+// TestNearestDegradedLookup covers the serving layer's degraded fallback:
+// nearest section by process-count ratio, nearest cell by size ratio,
+// deterministic tie-breaks, and a miss only when the collective is absent.
+func TestNearestDegradedLookup(t *testing.T) {
+	tb := &Table{
+		Machine: "SimCluster",
+		Seed:    1,
+		Sections: []Section{
+			{Collective: coll.Alltoall.String(), Procs: 8, Cells: []Cell{
+				{MsgBytes: 64, Winner: AlgoRef{ID: 3, Name: "bruck"}},
+				{MsgBytes: 1024, Winner: AlgoRef{ID: 2, Name: "pair"}},
+			}},
+			{Collective: coll.Alltoall.String(), Procs: 64, Cells: []Cell{
+				{MsgBytes: 1024, Winner: AlgoRef{ID: 4, Name: "ring"}},
+			}},
+			{Collective: coll.Reduce.String(), Procs: 8, Cells: []Cell{
+				{MsgBytes: 64, Winner: AlgoRef{ID: 5, Name: "binomial"}},
+			}},
+		},
+	}
+	if err := tb.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		procs, msgBytes int
+		wantProcs       int
+		wantSize        int
+		wantAlgo        string
+	}{
+		// Exact coordinates still answer (Nearest is a superset of Get).
+		{8, 1024, 8, 1024, "pair"},
+		// Size between bins: 128 is 2x from 64, 8x from 1024.
+		{8, 128, 8, 64, "bruck"},
+		// Size above every bin.
+		{8, 1 << 20, 8, 1024, "pair"},
+		// Procs between sections: 16 is 2x from 8, 4x from 64.
+		{16, 1024, 8, 1024, "pair"},
+		// Procs nearer the big section.
+		{48, 4096, 64, 1024, "ring"},
+		// Size tie (128 is 2x from 64 in either direction… use 256: 4x vs 4x
+		// against 64 and 1024): smaller size wins.
+		{8, 256, 8, 64, "bruck"},
+	}
+	for _, tc := range cases {
+		got, ok := tb.Nearest(coll.Alltoall, tc.procs, tc.msgBytes)
+		if !ok {
+			t.Fatalf("Nearest(%d procs, %d B): miss", tc.procs, tc.msgBytes)
+		}
+		if got.Procs != tc.wantProcs || got.MsgBytes != tc.wantSize || got.Cell.Winner.Name != tc.wantAlgo {
+			t.Errorf("Nearest(%d procs, %d B) = %s@%d procs/%d B, want %s@%d/%d",
+				tc.procs, tc.msgBytes, got.Cell.Winner.Name, got.Procs, got.MsgBytes,
+				tc.wantAlgo, tc.wantProcs, tc.wantSize)
+		}
+	}
+
+	// Absent collective: the only true miss.
+	if _, ok := tb.Nearest(coll.Allreduce, 8, 64); ok {
+		t.Fatal("Nearest answered for a collective the table does not cover")
+	}
+	// Invalid coordinates.
+	if _, ok := tb.Nearest(coll.Alltoall, 0, 64); ok {
+		t.Fatal("Nearest answered procs=0")
+	}
+	if _, ok := tb.Nearest(coll.Alltoall, 8, -5); ok {
+		t.Fatal("Nearest answered msgBytes<0")
+	}
+}

@@ -2,15 +2,19 @@
 # Serving smoke test: compile a tiny decision-table artifact, boot
 # collseld on it, and assert that the served answer (a) comes from the
 # table, (b) matches the recommendation a direct selection run computes
-# for the same spec, and (c) survives a /reload. SimCluster is noiseless
-# with perfect clocks, so one repetition is fully deterministic and the
-# two paths must agree exactly.
+# for the same spec, (c) survives a /reload, and (d) under deliberate
+# overload (one worker, no wait queue) sheds excess cold load with
+# well-formed 429 + Retry-After responses. SimCluster is noiseless with
+# perfect clocks, so one repetition is fully deterministic and the two
+# paths must agree exactly.
 set -eux
 
 addr=127.0.0.1:18177
+addr2=127.0.0.1:18178
 tmp=$(mktemp -d)
 pid=
-trap 'test -n "$pid" && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+pid2=
+trap 'test -n "$pid" && kill "$pid" 2>/dev/null; test -n "$pid2" && kill "$pid2" 2>/dev/null; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp" ./cmd/compilestore ./cmd/collseld ./cmd/selector
 
@@ -24,7 +28,7 @@ for _ in $(seq 1 50); do
     curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
     sleep 0.2
 done
-curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
+curl -sf "http://$addr/healthz" | grep -q '"status":"healthy"'
 
 served=$(curl -sf "http://$addr/select?collective=alltoall&msg_bytes=1024&procs=8")
 echo "$served" | grep -q '"source":"table"'
@@ -43,4 +47,36 @@ curl -sf -X POST "http://$addr/reload" | grep -q '"new_version"'
 curl -sf "http://$addr/select?collective=alltoall&msg_bytes=1024&procs=8" \
     | grep -q "\"algorithm\":{\"id\":[0-9]*,\"name\":\"$served_alg\""
 
-echo "serve smoke OK: $served_alg"
+# Shed mode: one cold worker and no wait queue. A concurrent burst of
+# distinct cold sizes (well above the table's range, so every one is a
+# live simulation) must shed most of the load with a well-formed 429
+# carrying Retry-After.
+"$tmp/collseld" -store "$tmp/table.json" -addr "$addr2" \
+    -cold-workers 1 -cold-queue -1 &
+pid2=$!
+for _ in $(seq 1 50); do
+    curl -sf "http://$addr2/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+curl_pids=
+for i in 0 1 2 3 4 5 6 7; do
+    size=$((400000 + i))
+    curl -s -D "$tmp/hdr$i" -o "$tmp/body$i" \
+        "http://$addr2/select?collective=alltoall&msg_bytes=$size&procs=8" &
+    curl_pids="$curl_pids $!"
+done
+wait $curl_pids
+
+shed=0
+for i in 0 1 2 3 4 5 6 7; do
+    if head -1 "$tmp/hdr$i" | grep -q ' 429'; then
+        grep -qi '^retry-after:' "$tmp/hdr$i"
+        grep -q '"error"' "$tmp/body$i"
+        shed=$((shed + 1))
+    fi
+done
+test "$shed" -ge 1
+curl -sf "http://$addr2/metrics" | grep -q 'collseld_shed_total [1-9]'
+
+echo "serve smoke OK: $served_alg (shed $shed/8 under overload)"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check chaos fuzz tools clean
+.PHONY: all build vet lint test race bench bench-json check chaos serve-smoke fuzz tools clean
 
 all: check
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Custom go/analysis suite (determinism, ctxplumb, gohygiene): the
+# invariants the reproduction depends on, enforced mechanically. See
+# DESIGN.md "Enforced invariants".
+lint:
+	$(GO) run ./cmd/collsellint ./...
 
 test:
 	$(GO) test ./...
@@ -29,13 +35,20 @@ bench-json:
 		-benchtime 1x -json . ./internal/serve > BENCH_select.json
 
 # Tier-1 verification: what every change must keep green.
-check: build vet test race
+check: build vet lint test race
 
 # Deterministic chaos harness for the serving layer: hanging/failing/slow
 # selections, shed bursts, breaker lifecycle, reload storms, drain — all
 # under the race detector, with a goroutine-leak check per scenario.
-chaos:
+# `build` is the shared prerequisite with serve-smoke, so CI jobs never
+# repeat ad-hoc build steps.
+chaos: build
 	$(GO) test -race -run 'TestChaos|TestBreaker|TestNegativeColdCaching|TestDrainStateMachine|TestFlightFollowerCancel' -count=1 -v ./internal/serve
+
+# End-to-end serving smoke test against the tools built once by `tools`
+# (the script builds into a temp dir when run standalone).
+serve-smoke: tools
+	BIN_DIR=$(CURDIR)/bin ./scripts/serve_smoke.sh
 
 # Randomized end-to-end correctness: every fuzzed (collective, algorithm,
 # procs, size, seed) run validates payloads against a direct computation.

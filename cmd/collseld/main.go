@@ -87,6 +87,7 @@ func main() {
 	// (the HTTP /reload endpoint does the same).
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
+	//collsel:goroutine process-lifetime SIGHUP reload loop, owned by the daemon and reaped at exit
 	go func() {
 		for range hup {
 			if rr, err := srv.Reload(); err != nil {
@@ -98,6 +99,7 @@ func main() {
 	}()
 
 	errCh := make(chan error, 1)
+	//collsel:goroutine ListenAndServe loop: joined through errCh and the graceful-shutdown path below
 	go func() {
 		logger.Printf("listening on %s", *addr)
 		errCh <- httpSrv.ListenAndServe()

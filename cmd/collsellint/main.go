@@ -1,0 +1,84 @@
+// Command collsellint runs the repo's custom go/analysis suite: the
+// determinism, ctxplumb and gohygiene analyzers that mechanically enforce
+// the invariants the reproduction depends on (see DESIGN.md "Enforced
+// invariants").
+//
+// It is one binary with two faces:
+//
+//   - invoked with package patterns, it drives itself through the go
+//     command, which handles loading, type-checking and caching:
+//
+//     go run ./cmd/collsellint ./...
+//
+//   - invoked by `go vet -vettool=...` (the go command passes -V=full and
+//     then a *.cfg file per package), it acts as a standard unitchecker
+//     backend. The driver face is just sugar for
+//
+//     go vet -vettool=$(which collsellint) ./...
+//
+// Exit status is non-zero when any analyzer reports a diagnostic.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"collsel/internal/analysis/ctxplumb"
+	"collsel/internal/analysis/determinism"
+	"collsel/internal/analysis/gohygiene"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		ctxplumb.Analyzer,
+		gohygiene.Analyzer,
+	}
+}
+
+func main() {
+	if vetToolMode(os.Args[1:]) {
+		unitchecker.Main(analyzers()...) // does not return
+	}
+
+	// Driver mode: hand the package patterns to go vet with ourselves as
+	// the vettool. os.Executable works under `go run` too (the temporary
+	// binary exists for the duration of the run).
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		os.Exit(1)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetToolMode reports whether the process was invoked by the go command's
+// vet machinery rather than by a human: `-V=full` for the tool version
+// handshake, a *.cfg package config, or analyzer flags (which only the
+// unitchecker face understands).
+func vetToolMode(args []string) bool {
+	if len(args) == 0 {
+		return true // print usage via unitchecker
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

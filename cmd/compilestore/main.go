@@ -35,6 +35,7 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "virtual-time watchdog per cell in ns (0 disables)")
 	workers := flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical at any value")
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
+	created := flag.Int64("created", time.Now().Unix(), "artifact build timestamp (Unix seconds); fix it for byte-reproducible artifacts")
 	out := flag.String("o", "decision_table.json", "output artifact path")
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 		WatchdogNs:  *watchdog,
 		Runner:      cliutil.Engine(*workers),
 		Progress:    cliutil.ProgressPrinter(os.Stderr, "compilestore", *progress),
+		CreatedUnix: *created,
 	})
 	if err != nil {
 		cliutil.Fatal("compilestore", err)

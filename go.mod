@@ -1,3 +1,8 @@
 module collsel
 
 go 1.22
+
+// Pinned for reproducible analyzer behavior (ISSUE 5): this exact snapshot
+// is vendored under vendor/golang.org/x/tools (the subset needed by
+// cmd/collsellint), so builds never depend on network module resolution.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,235 @@
+// Package analysistesting runs a go/analysis analyzer over a testdata
+// package and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// The upstream analysistest depends on go/packages and therefore on
+// network module resolution; this repo vendors only the analyzer runtime
+// (see DESIGN.md "Enforced invariants"), so the harness here loads the
+// testdata package directly: files are parsed from
+// <testdata>/src/<pkg>/*.go and type-checked with the source importer,
+// which resolves the (stdlib-only) imports from GOROOT without touching
+// the network.
+//
+// Expectations use the analysistest syntax: a comment of the form
+//
+//	// want "regexp" `another regexp`
+//
+// declares that the analyzer must report, on that line, one diagnostic
+// matching each listed regexp. Diagnostics without a matching expectation
+// and expectations without a matching diagnostic both fail the test.
+package analysistesting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads <testdata>/src/<pkg> and applies a (running its Requires
+// first), then compares diagnostics against the package's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+
+	dir := filepath.Join(testdata, "src", pkg)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Errorf("type error: %v", err) },
+	}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", pkg, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ReadFile:   os.ReadFile,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+	}
+	if err := runWithRequires(pass, a, map[*analysis.Analyzer]bool{}); err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	checkDiagnostics(t, fset, files, diags)
+}
+
+// runWithRequires runs a's prerequisite analyzers (facts-free, as all of
+// this module's analyzers are), stores their results in pass.ResultOf,
+// then runs a itself.
+func runWithRequires(pass *analysis.Pass, a *analysis.Analyzer, done map[*analysis.Analyzer]bool) error {
+	for _, req := range a.Requires {
+		if done[req] {
+			continue
+		}
+		if err := runWithRequires(pass, req, done); err != nil {
+			return err
+		}
+	}
+	sub := *pass
+	sub.Analyzer = a
+	if a != pass.Analyzer {
+		// Prerequisites must not report through the tested analyzer.
+		sub.Report = func(analysis.Diagnostic) {}
+	}
+	res, err := a.Run(&sub)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	pass.ResultOf[a] = res
+	done[a] = true
+	return nil
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The expectation may trail another comment on the same
+				// token (e.g. a //collsel: directive under test), so find
+				// the marker anywhere in the comment.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants splits `"re" "re2"` / backquoted forms into compiled regexps.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '"':
+			q, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted regexp in %q", s)
+			}
+			lit, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, err
+			}
+			s = s[len(q):]
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want expectation must be a quoted or backquoted regexp, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+}

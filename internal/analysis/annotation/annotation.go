@@ -1,0 +1,98 @@
+// Package annotation parses the //collsel: suppression directives that the
+// collsellint analyzers honor.
+//
+// A directive has the form
+//
+//	//collsel:<verb> <justification>
+//
+// and guards the source line it is written on plus the following line, so
+// both placements work:
+//
+//	t.CreatedUnix = clock() //collsel:wallclock justification here
+//
+//	//collsel:wallclock justification here
+//	t.CreatedUnix = clock()
+//
+// The justification is mandatory: a directive with an empty justification
+// does not suppress anything and is itself reported as a violation by the
+// analyzer that owns the verb. Known verbs are "wallclock" and "unordered"
+// (determinism), "ctx" (ctxplumb) and "goroutine" (gohygiene).
+package annotation
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment prefix shared by every collsellint directive.
+const Prefix = "collsel:"
+
+// Verbs lists every directive verb an analyzer in this module understands.
+var Verbs = []string{"wallclock", "unordered", "ctx", "goroutine"}
+
+// Directive is one parsed //collsel:<verb> comment.
+type Directive struct {
+	Verb          string
+	Justification string
+	Pos           token.Pos // position of the comment
+	Line          int       // line the comment sits on
+}
+
+// File indexes the directives of one parsed file.
+type File struct {
+	fset       *token.FileSet
+	directives []Directive
+}
+
+// Collect parses every //collsel: directive of f. The file must have been
+// parsed with comments.
+func Collect(fset *token.FileSet, f *ast.File) *File {
+	af := &File{fset: fset}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+Prefix)
+			if !ok {
+				continue
+			}
+			verb, just, _ := strings.Cut(text, " ")
+			// A justification ends at an embedded comment marker so test
+			// fixtures can carry trailing // want expectations.
+			just, _, _ = strings.Cut(just, "//")
+			af.directives = append(af.directives, Directive{
+				Verb:          verb,
+				Justification: strings.TrimSpace(just),
+				Pos:           c.Pos(),
+				Line:          fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return af
+}
+
+// All returns every directive of the file, in source order.
+func (f *File) All() []Directive { return f.directives }
+
+// Guarded returns the justified directive with the given verb guarding the
+// node at pos, or nil. A directive guards its own line and the next one;
+// unjustified directives never guard (they are themselves findings).
+func (f *File) Guarded(verb string, pos token.Pos) *Directive {
+	line := f.fset.Position(pos).Line
+	for i := range f.directives {
+		d := &f.directives[i]
+		if d.Verb == verb && d.Justification != "" && (d.Line == line || d.Line == line-1) {
+			return d
+		}
+	}
+	return nil
+}
+
+// Known reports whether verb is one an analyzer in this module implements.
+func Known(verb string) bool {
+	for _, v := range Verbs {
+		if v == verb {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package annotation
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+//collsel:wallclock load time is operational
+var a int
+
+var b int //collsel:unordered rendering is order-independent
+
+//collsel:ctx
+var c int
+
+//collsel:goroutine trailing test marker // want "stripped"
+var d int
+
+//collsel:bogus something
+var e int
+`
+
+func parse(t *testing.T) (*token.FileSet, *File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, Collect(fset, f)
+}
+
+func TestCollect(t *testing.T) {
+	_, af := parse(t)
+	ds := af.All()
+	if len(ds) != 5 {
+		t.Fatalf("got %d directives, want 5", len(ds))
+	}
+	checks := []struct {
+		verb, just string
+		line       int
+	}{
+		{"wallclock", "load time is operational", 3},
+		{"unordered", "rendering is order-independent", 6},
+		{"ctx", "", 8},
+		{"goroutine", "trailing test marker", 11},
+		{"bogus", "something", 14},
+	}
+	for i, want := range checks {
+		d := ds[i]
+		if d.Verb != want.verb || d.Justification != want.just || d.Line != want.line {
+			t.Errorf("directive %d: got (%q, %q, line %d), want (%q, %q, line %d)",
+				i, d.Verb, d.Justification, d.Line, want.verb, want.just, want.line)
+		}
+	}
+}
+
+func TestGuarded(t *testing.T) {
+	fset, af := parse(t)
+	posOnLine := func(line int) token.Pos {
+		return fset.File(token.Pos(1)).LineStart(line)
+	}
+
+	// A justified directive guards its own line and the next.
+	if af.Guarded("wallclock", posOnLine(3)) == nil {
+		t.Error("wallclock directive should guard its own line")
+	}
+	if af.Guarded("wallclock", posOnLine(4)) == nil {
+		t.Error("wallclock directive should guard the following line")
+	}
+	if af.Guarded("wallclock", posOnLine(5)) != nil {
+		t.Error("wallclock directive must not guard two lines down")
+	}
+	if af.Guarded("unordered", posOnLine(6)) == nil {
+		t.Error("trailing directive should guard its own line")
+	}
+
+	// An unjustified directive guards nothing.
+	if af.Guarded("ctx", posOnLine(9)) != nil {
+		t.Error("unjustified directive must not guard")
+	}
+
+	// Verbs do not cross-guard.
+	if af.Guarded("unordered", posOnLine(4)) != nil {
+		t.Error("verb mismatch must not guard")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	for _, v := range Verbs {
+		if !Known(v) {
+			t.Errorf("Known(%q) = false", v)
+		}
+	}
+	if Known("bogus") {
+		t.Error(`Known("bogus") = true`)
+	}
+}

@@ -1,0 +1,12 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/ctxplumb"
+)
+
+func TestCtxPlumb(t *testing.T) {
+	analysistesting.Run(t, "testdata", ctxplumb.Analyzer, "ctxcheck")
+}

@@ -1,0 +1,68 @@
+// Package ctxcheck seeds context-plumbing violations; the
+// expectation comments are the analyzer's contract.
+package ctxcheck
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+func root(ctx context.Context) error {
+	bg := context.Background() // want "context.Background inside a function that already receives a context"
+	_ = bg
+	todo := context.TODO() // want "context.TODO inside a function that already receives a context"
+	_ = todo
+
+	helper(ctx) // threading the received ctx is fine
+
+	build() // want `ctxcheck.build drops the caller's context: call buildCtx`
+
+	return buildCtx(ctx) // calling the Ctx variant is the fix
+}
+
+// Closures inherit the enclosing function's context: a fresh root inside
+// one detaches the surrounding request's deadline all the same.
+func closure(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want "context.Background inside a function that already receives a context"
+		build()                  // want `ctxcheck.build drops the caller's context: call buildCtx`
+	}
+}
+
+func detached(ctx context.Context) {
+	//collsel:ctx leader work must survive an individual requester's cancellation
+	work := context.Background()
+	_ = work
+}
+
+func unjustified(ctx context.Context) {
+	//collsel:ctx
+	_ = context.Background() // want "context.Background inside a function that already receives a context"
+}
+
+// The wrapper pattern stays legal: a function without a ctx parameter may
+// root a fresh context for its Ctx sibling.
+func wrapper() error {
+	return buildCtx(context.Background())
+}
+
+func alsoNoCtx() {
+	build()
+}
+
+func helper(ctx context.Context) {}
+
+func build() error { return nil }
+
+func buildCtx(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// An *http.Request parameter carries the request's context: handlers must
+// derive from r.Context(), not root a fresh one.
+func handler(w io.Writer, r *http.Request) {
+	_ = context.Background() // want "context.Background inside a function that already receives a context"
+	_ = buildCtx(r.Context())
+}

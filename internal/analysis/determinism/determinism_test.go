@@ -1,0 +1,32 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/determinism"
+)
+
+// setScope points the analyzer's scope flag at the testdata package for
+// the duration of one test, restoring the default afterwards.
+func setScope(t *testing.T, scope string) {
+	t.Helper()
+	old := determinism.Analyzer.Flags.Lookup("scope").Value.String()
+	if err := determinism.Analyzer.Flags.Set("scope", scope); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { determinism.Analyzer.Flags.Set("scope", old) })
+}
+
+func TestDeterminism(t *testing.T) {
+	setScope(t, "detcheck")
+	analysistesting.Run(t, "testdata", determinism.Analyzer, "detcheck")
+}
+
+func TestScopeMatching(t *testing.T) {
+	// Out-of-scope packages get no determinism rules (the wall-clock read
+	// in the fixture carries no want) but their //collsel: directives are
+	// still audited for unknown verbs and missing justifications.
+	setScope(t, "some/other/pkg")
+	analysistesting.Run(t, "testdata", determinism.Analyzer, "outofscope")
+}

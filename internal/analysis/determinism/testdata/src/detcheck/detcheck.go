@@ -1,0 +1,113 @@
+// Package detcheck seeds one violation (or justified exception) per
+// determinism rule; the expectation
+// comments are the analyzer's contract.
+package detcheck
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- rule 1: wall clock ---
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "wall clock in deterministic code: time.Now"
+	return time.Since(start) // want "wall clock in deterministic code: time.Since"
+}
+
+func wallClockJustified() int64 {
+	//collsel:wallclock artifact load time is operational metadata, not artifact content
+	return time.Now().Unix()
+}
+
+func wallClockInline() int64 {
+	return time.Now().Unix() //collsel:wallclock edge-injected timestamp for the CLI
+}
+
+func wallClockUnjustified() int64 {
+	return time.Now().Unix() //collsel:wallclock // want "requires a justification" "wall clock in deterministic code: time.Now"
+}
+
+//collsel:frobnicate with feeling // want "unknown //collsel:frobnicate directive"
+func unknownVerb() {}
+
+// --- rule 2: global math/rand ---
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand RNG in deterministic code: rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand RNG in deterministic code: rand.Shuffle"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// --- rule 3: map iteration order ---
+
+func mapToOutput(m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches output: fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func mapToHash(m map[string]int) [32]byte {
+	h := sha256.New()
+	for k := range m { // want `map iteration order reaches output: \(io.Writer\).Write`
+		h.Write([]byte(k))
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+func mapCollectedUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapCollectedSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapCollectedSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func mapJustified(m map[string]int) int {
+	n := 0
+	//collsel:unordered fixture exercising the justified escape hatch
+	for k := range m {
+		fmt.Print(k)
+		n++
+	}
+	return n
+}
+
+func mapMembership(m map[string]int) int {
+	// Order-insensitive uses stay clean: no sink, no collected slice.
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

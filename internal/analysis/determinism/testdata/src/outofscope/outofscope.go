@@ -1,0 +1,14 @@
+// Package outofscope verifies the scope boundary: determinism rules stay
+// silent outside the configured packages, while the //collsel: directive
+// grammar is audited everywhere.
+package outofscope
+
+import "time"
+
+func servingClock() int64 {
+	return time.Now().Unix() // out of scope: not a finding
+}
+
+func badDirective() int64 {
+	return time.Now().Unix() //collsel:wallclock // want "requires a justification"
+}

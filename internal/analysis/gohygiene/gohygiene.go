@@ -1,0 +1,85 @@
+// Package gohygiene implements the collsellint analyzer that forbids
+// fire-and-forget goroutines in non-test code.
+//
+// The serving stack's chaos harness asserts zero goroutine leaks per
+// scenario; an untracked `go` statement is how a leak (or a shutdown race)
+// gets reintroduced. A goroutine is considered tracked when its body joins
+// a sync.WaitGroup (calls Done on one, as the runner's worker pool does).
+// Everything else — the simulation kernel's rank-launch path, a daemon's
+// process-lifetime loops — must carry a //collsel:goroutine <why>
+// annotation naming the construct that owns the goroutine's lifetime.
+package gohygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"collsel/internal/analysis/annotation"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "gohygiene",
+	Doc:      "go statements in non-test code must be WaitGroup-tracked or annotated with the construct that owns their lifetime",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	anns := make(map[*token.File]*annotation.File)
+	skip := make(map[*token.File]bool)
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if strings.HasSuffix(tf.Name(), "_test.go") {
+			skip[tf] = true
+			continue
+		}
+		anns[tf] = annotation.Collect(pass.Fset, f)
+	}
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		tf := pass.Fset.File(n.Pos())
+		if skip[tf] {
+			return
+		}
+		g := n.(*ast.GoStmt)
+		if anns[tf].Guarded("goroutine", g.Pos()) != nil {
+			return
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok && joinsWaitGroup(pass, lit.Body) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"untracked goroutine: join it via a sync.WaitGroup in its body, or annotate //collsel:goroutine <construct that owns its lifetime>")
+	})
+	return nil, nil
+}
+
+// joinsWaitGroup reports whether the body calls (*sync.WaitGroup).Done,
+// directly or deferred — the signature of a pool-tracked worker.
+func joinsWaitGroup(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

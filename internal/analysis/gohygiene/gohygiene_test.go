@@ -1,0 +1,12 @@
+package gohygiene_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/gohygiene"
+)
+
+func TestGoHygiene(t *testing.T) {
+	analysistesting.Run(t, "testdata", gohygiene.Analyzer, "gocheck")
+}

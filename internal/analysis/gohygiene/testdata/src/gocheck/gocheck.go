@@ -1,0 +1,40 @@
+// Package gocheck seeds goroutine-hygiene violations; the
+// expectation comments are the analyzer's contract.
+package gocheck
+
+import "sync"
+
+// A WaitGroup-joined worker pool is the tracked construct (the runner's
+// grid engine uses exactly this shape).
+func pool(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func fireAndForget() {
+	go work()   // want "untracked goroutine"
+	go func() { // want "untracked goroutine"
+		work()
+	}()
+}
+
+func annotated() {
+	//collsel:goroutine joined by the simulation kernel's alive counter and abort unwind
+	go work()
+
+	go work() //collsel:goroutine process-lifetime daemon loop, exits with main
+}
+
+func unjustified() {
+	//collsel:goroutine
+	go work() // want "untracked goroutine"
+}
+
+func work() {}

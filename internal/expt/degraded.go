@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"collsel/internal/coll"
@@ -61,12 +62,27 @@ func (r *DegradedReport) finish(m *core.Matrix) {
 }
 
 // String renders a short human-readable summary ("ok" when nothing failed).
+// The per-algorithm fault counts are rendered in sorted name order so the
+// summary is byte-stable across runs — FaultCounts is a map, and its
+// iteration order must never reach output (the determinism analyzer
+// enforces exactly this).
 func (r *DegradedReport) String() string {
 	if !r.Degraded() {
 		return "ok: no degraded cells"
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "degraded: %d cell(s) failed, %d algorithm(s) excluded", len(r.Cells), len(r.Excluded))
+	if len(r.FaultCounts) > 0 {
+		names := make([]string, 0, len(r.FaultCounts))
+		for name := range r.FaultCounts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("\n  fault counts:")
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, r.FaultCounts[name])
+		}
+	}
 	for _, c := range r.Cells {
 		fmt.Fprintf(&b, "\n  %s/%s: %v", c.Pattern, c.Algorithm.Name, c.Err)
 	}

@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"errors"
+	"testing"
+
+	"collsel/internal/coll"
+)
+
+// TestDegradedReportGoldenOutput pins the exact rendering of a degraded
+// report: the per-algorithm fault counts come from a map, so the summary
+// must sort names before emitting — repeated renders are byte-identical.
+func TestDegradedReportGoldenOutput(t *testing.T) {
+	r := &DegradedReport{FaultCounts: map[string]int{}}
+	r.record("flat_0.2", coll.Algorithm{Name: "pairwise"}, errors.New("watchdog: rank 3 blocked"))
+	r.record("burst_0.5", coll.Algorithm{Name: "bruck"}, errors.New("retransmit budget exhausted"))
+	r.record("burst_0.5", coll.Algorithm{Name: "pairwise"}, errors.New("rank 1 crashed"))
+
+	const want = "degraded: 3 cell(s) failed, 0 algorithm(s) excluded" +
+		"\n  fault counts: bruck=1 pairwise=2" +
+		"\n  flat_0.2/pairwise: watchdog: rank 3 blocked" +
+		"\n  burst_0.5/bruck: retransmit budget exhausted" +
+		"\n  burst_0.5/pairwise: rank 1 crashed"
+
+	// Render repeatedly: a map-order leak would show up as flaky output.
+	for i := 0; i < 32; i++ {
+		if got := r.String(); got != want {
+			t.Fatalf("render %d:\n got: %q\nwant: %q", i, got, want)
+		}
+	}
+}
+
+func TestDegradedReportOK(t *testing.T) {
+	var r *DegradedReport
+	if r.Degraded() {
+		t.Fatal("nil report must not be degraded")
+	}
+	empty := &DegradedReport{FaultCounts: map[string]int{}}
+	if got := empty.String(); got != "ok: no degraded cells" {
+		t.Fatalf("empty report rendered %q", got)
+	}
+}

@@ -338,6 +338,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cell, err, coalesced := s.flights.do(reqCtx, key, func() (store.Cell, error) {
+		//collsel:ctx intentional detachment: the coalesced leader's work must survive any single requester's cancellation; its own deadline is applied below
 		workCtx := context.Background()
 		if s.cfg.SelectTimeout > 0 {
 			var cancel context.CancelFunc

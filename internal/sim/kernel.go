@@ -149,6 +149,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	k.procs = append(k.procs, p)
 	k.alive++
+	//collsel:goroutine rank-launch path: the scheduler joins every process via the alive counter, and aborted runs unwind through the abortSignal panic
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

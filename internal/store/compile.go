@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"collsel/internal/coll"
 	"collsel/internal/expt"
@@ -39,6 +38,12 @@ type CompileConfig struct {
 	// (done, total) measured cells over the whole compilation.
 	Runner   *runner.Engine
 	Progress func(done, total int)
+	// CreatedUnix is the build timestamp recorded in the artifact (Unix
+	// seconds). It is injected by the caller — cmd/compilestore stamps the
+	// wall clock at the edge — so that Compile itself is a pure function of
+	// its inputs: two compiles of the same config produce byte-identical
+	// artifacts. Zero leaves the artifact unstamped.
+	CreatedUnix int64
 }
 
 // DefaultSizes returns the default compile ladder: decade steps over the
@@ -136,8 +141,9 @@ func SpecOf(t *Table, pl *netmodel.Platform, c coll.Collective, procs, msgBytes 
 // Compile measures every (collective, procs, size) grid point and returns
 // the finalized decision table. Grid points whose every algorithm failed
 // under fault injection are skipped (they stay lookup misses); any other
-// error aborts the compilation. The table content is deterministic: a
-// recompilation with an identical config produces an identical Version.
+// error aborts the compilation. The result is a pure function of the
+// config: a recompilation with an identical config (including CreatedUnix)
+// produces a byte-identical, checksum-stable artifact.
 func Compile(ctx context.Context, cfg CompileConfig) (*Table, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -203,7 +209,7 @@ func Compile(ctx context.Context, cfg CompileConfig) (*Table, error) {
 	if t.Cells() == 0 {
 		return nil, fmt.Errorf("store: compilation produced no cells")
 	}
-	t.CreatedUnix = time.Now().Unix()
+	t.CreatedUnix = cfg.CreatedUnix
 	if err := t.Finalize(); err != nil {
 		return nil, err
 	}

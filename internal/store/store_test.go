@@ -2,6 +2,8 @@ package store
 
 import (
 	"context"
+	"crypto/sha256"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -198,6 +200,43 @@ func TestCompileMatchesDirectSelection(t *testing.T) {
 	}
 	if tb.Version != tb2.Version {
 		t.Fatalf("recompilation changed version: %s vs %s", tb.Version, tb2.Version)
+	}
+}
+
+// TestCompileByteIdentical pins the reproducibility contract end to end:
+// two compiles of the same inputs (including the injected CreatedUnix
+// stamp) must serialize to byte-identical, checksum-stable artifacts.
+func TestCompileByteIdentical(t *testing.T) {
+	cfg := CompileConfig{
+		Platform:    netmodel.SimCluster(),
+		Collectives: []coll.Collective{coll.Alltoall},
+		ProcsList:   []int{8},
+		Sizes:       []int{256},
+		Seed:        1,
+		CreatedUnix: 1700000000,
+	}
+	dir := t.TempDir()
+	var sums [2][sha256.Size]byte
+	for i := range sums {
+		tb, err := Compile(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.CreatedUnix != cfg.CreatedUnix {
+			t.Fatalf("CreatedUnix %d, want injected %d", tb.CreatedUnix, cfg.CreatedUnix)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("artifact%d.json", i))
+		if err := tb.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i] = sha256.Sum256(raw)
+	}
+	if sums[0] != sums[1] {
+		t.Fatalf("recompiling identical inputs changed artifact bytes: %x vs %x", sums[0], sums[1])
 	}
 }
 

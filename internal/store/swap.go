@@ -36,6 +36,7 @@ func (h *Handle) Table() *Table { return h.p.Load() }
 func (h *Handle) Swap(t *Table) *Table {
 	old := h.p.Swap(t)
 	h.swaps.Add(1)
+	//collsel:wallclock install time feeds the table-age gauge, operational metadata outside any artifact or simulation result
 	h.loadedUnix.Store(time.Now().Unix())
 	return old
 }
@@ -53,5 +54,6 @@ func (h *Handle) AgeSeconds() float64 {
 	if lu == 0 {
 		return 0
 	}
+	//collsel:wallclock table age is a scrape-time serving gauge, not simulation state
 	return time.Since(time.Unix(lu, 0)).Seconds()
 }

@@ -16,12 +16,19 @@ pid=
 pid2=
 trap 'test -n "$pid" && kill "$pid" 2>/dev/null; test -n "$pid2" && kill "$pid2" 2>/dev/null; rm -rf "$tmp"' EXIT
 
-go build -o "$tmp" ./cmd/compilestore ./cmd/collseld ./cmd/selector
+# `make serve-smoke` builds every tool once (shared with the other CI
+# jobs) and points BIN_DIR here; standalone runs build into the temp dir.
+if [ -n "${BIN_DIR:-}" ]; then
+    bindir=$BIN_DIR
+else
+    bindir=$tmp
+    go build -o "$bindir" ./cmd/compilestore ./cmd/collseld ./cmd/selector
+fi
 
-"$tmp/compilestore" -machine SimCluster -colls alltoall -procs 8 \
+"$bindir/compilestore" -machine SimCluster -colls alltoall -procs 8 \
     -sizes 1024,32768 -o "$tmp/table.json"
 
-"$tmp/collseld" -store "$tmp/table.json" -addr "$addr" &
+"$bindir/collseld" -store "$tmp/table.json" -addr "$addr" &
 pid=$!
 
 for _ in $(seq 1 50); do
@@ -38,7 +45,7 @@ test -n "$served_alg"
 
 # The same selection computed directly (selector shares the compiler's
 # code path; -reps 1 matches the compile default on a noiseless machine).
-direct_alg=$("$tmp/selector" -machine SimCluster -coll alltoall -procs 8 \
+direct_alg=$("$bindir/selector" -machine SimCluster -coll alltoall -procs 8 \
     -size 1024 -reps 1 | sed -n 's/^recommended (pattern-robust): *//p')
 test "$served_alg" = "$direct_alg"
 
@@ -51,7 +58,7 @@ curl -sf "http://$addr/select?collective=alltoall&msg_bytes=1024&procs=8" \
 # distinct cold sizes (well above the table's range, so every one is a
 # live simulation) must shed most of the load with a well-formed 429
 # carrying Retry-After.
-"$tmp/collseld" -store "$tmp/table.json" -addr "$addr2" \
+"$bindir/collseld" -store "$tmp/table.json" -addr "$addr2" \
     -cold-workers 1 -cold-queue -1 &
 pid2=$!
 for _ in $(seq 1 50); do

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json check chaos serve-smoke fuzz tools clean
+.PHONY: all build vet lint test race bench bench-json bench-kernel check chaos serve-smoke fuzz tools clean
 
 all: check
 
@@ -28,11 +28,20 @@ bench:
 
 # Machine-readable selection + serving benchmarks: the end-to-end selection
 # cost and the decision-table hot path it amortizes (hot lookup, loopback
-# HTTP, cold fall-through, hot path under /reload).
-bench-json:
+# HTTP, cold fall-through, hot path under /reload). Also refreshes the
+# kernel benchmark artifact (bench-kernel).
+bench-json: bench-kernel
 	$(GO) test -run '^$$' \
 		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx' \
 		-benchtime 1x -json . ./internal/serve > BENCH_select.json
+
+# Simulation-kernel benchmark artifact: raw event-loop / coroutine-wake /
+# world-churn numbers plus the cold-selection speedup over the recorded
+# pre-rewrite baseline, emitted as BENCH_kernel.json. Tunables (BENCHTIME,
+# REPS, BASELINE_NS) pass through the environment; CI runs a short-rep
+# smoke variant.
+bench-kernel:
+	./scripts/bench_kernel.sh
 
 # Tier-1 verification: what every change must keep green.
 check: build vet lint test race

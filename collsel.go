@@ -26,6 +26,7 @@ package collsel
 
 import (
 	"context"
+	"time"
 
 	"collsel/internal/apps/dltrain"
 	"collsel/internal/apps/ft"
@@ -40,6 +41,7 @@ import (
 	_ "collsel/internal/papaware" // register the PAP-aware extension algorithms
 	"collsel/internal/pattern"
 	"collsel/internal/runner"
+	"collsel/internal/sim"
 	"collsel/internal/trace"
 	"collsel/internal/tuning"
 )
@@ -410,7 +412,16 @@ func WithProgress(fn func(done, total int)) Option {
 func WithFaults(p FaultProfile) Option { return func(c *SelectConfig) { c.Faults = p } }
 
 // WithWatchdog arms each cell's virtual-time watchdog at d nanoseconds.
+// Prefer WithWatchdogDuration, which takes a typed time.Duration.
 func WithWatchdog(d int64) Option { return func(c *SelectConfig) { c.WatchdogNs = d } }
+
+// WithWatchdogDuration arms each cell's virtual-time watchdog at d of
+// simulated time. It is the typed-duration form of WithWatchdog: one
+// nanosecond of time.Duration is one nanosecond of virtual time (see
+// sim.FromDuration / sim.ToDuration for the conversion pair).
+func WithWatchdogDuration(d time.Duration) Option {
+	return func(c *SelectConfig) { c.WatchdogNs = sim.FromDuration(d) }
+}
 
 // WithAlgorithms overrides the candidate algorithm set.
 func WithAlgorithms(algs ...Algorithm) Option {

@@ -1,8 +1,10 @@
 package collsel_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"collsel"
 )
@@ -50,6 +52,28 @@ func ExampleRunBenchmark() {
 	// pattern: last_delayed
 	// d* includes the skew: true
 	// d-hat excludes it: true
+}
+
+// ExampleSelectCtx demonstrates the guarded selection path: a wall-clock
+// context deadline plus a virtual-time watchdog expressed as a typed
+// time.Duration (the preferred form over raw nanoseconds).
+func ExampleSelectCtx() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sel, err := collsel.SelectCtx(ctx, collsel.SelectConfig{
+		Machine:    collsel.SimCluster(),
+		Collective: collsel.Reduce,
+		MsgBytes:   1024,
+		Procs:      32,
+	}, collsel.WithWatchdogDuration(10*time.Second)) // virtual time per cell
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("degraded:", sel.Degraded)
+	fmt.Println("algorithms ranked:", len(sel.Ranking))
+	// Output:
+	// degraded: false
+	// algorithms ranked: 7
 }
 
 // ExampleGeneratePattern shows the Fig. 3 shape generator.

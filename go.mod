@@ -1,6 +1,6 @@
 module collsel
 
-go 1.22
+go 1.23
 
 // Pinned for reproducible analyzer behavior (ISSUE 5): this exact snapshot
 // is vendored under vendor/golang.org/x/tools (the subset needed by

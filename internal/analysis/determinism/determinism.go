@@ -42,12 +42,14 @@ import (
 // out of scope.
 var DefaultScope = []string{
 	"internal/sim",
+	"internal/sim/eventq",
 	"internal/coll",
 	"internal/core",
 	"internal/mpi",
 	"internal/microbench",
 	"internal/netmodel",
 	"internal/pattern",
+	"internal/prand",
 	"internal/noise",
 	"internal/clocksync",
 	"internal/fault",

@@ -11,9 +11,8 @@
 package clocksync
 
 import (
-	"math/rand"
-
 	"collsel/internal/netmodel"
+	"collsel/internal/prand"
 )
 
 // Clock is the ground-truth linear model of one process's local clock.
@@ -47,13 +46,14 @@ func NewEnsemble(profile netmodel.ClockProfile, size int, seed int64) *Ensemble 
 	if !profile.Enabled {
 		return e
 	}
-	rng := rand.New(rand.NewSource(seed ^ 0xc10c5eed))
+	rng := prand.Get(seed ^ 0xc10c5eed)
 	for r := 1; r < size; r++ {
 		e.clocks[r] = Clock{
 			OffsetNs: (2*rng.Float64() - 1) * float64(profile.MaxOffsetNs),
 			Drift:    (2*rng.Float64() - 1) * profile.MaxDriftPPM * 1e-6,
 		}
 	}
+	prand.Put(rng)
 	return e
 }
 

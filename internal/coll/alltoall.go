@@ -35,6 +35,14 @@ func chunk(a *Args, data []float64, d int) []float64 {
 	return data[d*a.Count : (d+1)*a.Count]
 }
 
+// The alltoall algorithms send chunks of a.Data by reference instead of
+// cloning per message: no alltoall sender mutates a.Data while the
+// collective is in flight, and every receiver only reads the delivered
+// payload (copying it into its own result buffer), so the slices are
+// immutable for the lifetime of the message. The local copy the real
+// implementation performs is still charged to the simulated clock via
+// chargeCopy; only the host-side allocation is elided.
+
 // alltoallBasicLinear: post all receives and all sends at once, wait for
 // everything (Open MPI coll_basic linear alltoall). Maximum overlap, but
 // also maximum port contention at scale.
@@ -43,27 +51,32 @@ func alltoallBasicLinear(a *Args) ([]float64, error) {
 		return nil, err
 	}
 	p, me := a.size(), a.me()
-	res := make([]float64, p*a.Count)
+	res := a.alloc(p * a.Count)
 	copy(chunk(a, res, me), chunk(a, a.Data, me))
 	chargeCopy(a, a.Count)
 	if p == 1 {
 		return res, nil
 	}
 	reqs := make([]*mpi.Request, 0, 2*(p-1))
-	recvIdx := make([]int, 0, p-1)
 	// Open MPI posts receives from (me+1), (me+2), ... and sends likewise.
 	for i := 1; i < p; i++ {
 		src := (me + i) % p
 		reqs = append(reqs, a.R.Irecv(src, a.Tag))
-		recvIdx = append(recvIdx, src)
 	}
 	for i := 1; i < p; i++ {
 		dst := (me + i) % p
-		reqs = append(reqs, a.R.Isend(dst, a.Tag, clonev(chunk(a, a.Data, dst)), a.Bytes(a.Count)))
+		reqs = append(reqs, a.R.Isend(dst, a.Tag, chunk(a, a.Data, dst), a.Bytes(a.Count)))
 	}
-	msgs := mpi.Waitall(reqs...)
-	for i, src := range recvIdx {
-		copy(chunk(a, res, src), msgs[i].Data)
+	// Wait in posting order, exactly like mpi.Waitall, copying each received
+	// block as its request completes (the copy is host-side bookkeeping, so
+	// interleaving it with the waits changes no simulated timestamps).
+	for i := 1; i < p; i++ {
+		src := (me + i) % p
+		m := reqs[i-1].Wait()
+		copy(chunk(a, res, src), m.Data)
+	}
+	for _, q := range reqs[p-1:] {
+		q.Wait()
 	}
 	return res, nil
 }
@@ -76,13 +89,13 @@ func alltoallPairwise(a *Args) ([]float64, error) {
 		return nil, err
 	}
 	p, me := a.size(), a.me()
-	res := make([]float64, p*a.Count)
+	res := a.alloc(p * a.Count)
 	copy(chunk(a, res, me), chunk(a, a.Data, me))
 	chargeCopy(a, a.Count)
 	for s := 1; s < p; s++ {
 		sendTo := (me + s) % p
 		recvFrom := (me - s + p) % p
-		m := a.R.Sendrecv(sendTo, a.Tag+s, clonev(chunk(a, a.Data, sendTo)), a.Bytes(a.Count), recvFrom, a.Tag+s)
+		m := a.R.Sendrecv(sendTo, a.Tag+s, chunk(a, a.Data, sendTo), a.Bytes(a.Count), recvFrom, a.Tag+s)
 		copy(chunk(a, res, recvFrom), m.Data)
 	}
 	return res, nil
@@ -97,14 +110,17 @@ func alltoallBruck(a *Args) ([]float64, error) {
 	}
 	p, me := a.size(), a.me()
 	if p == 1 {
-		res := clonev(a.Data)
+		res := a.alloc(len(a.Data))
+		copy(res, a.Data)
 		chargeCopy(a, a.Count)
 		return res, nil
 	}
 	// Phase 1: local rotation. blocks[k] = my data for rank (me+k) mod p.
+	// Blocks alias a.Data (and, after an exchange round, received payloads);
+	// they are only ever read and re-pointed, never written through.
 	blocks := make([][]float64, p)
 	for k := 0; k < p; k++ {
-		blocks[k] = clonev(chunk(a, a.Data, (me+k)%p))
+		blocks[k] = chunk(a, a.Data, (me+k)%p)
 	}
 	chargeCopy(a, a.Count*p)
 
@@ -120,21 +136,23 @@ func alltoallBruck(a *Args) ([]float64, error) {
 				idxs = append(idxs, k)
 			}
 		}
-		packed := make([]float64, 0, len(idxs)*a.Count)
+		packed := a.alloc(len(idxs) * a.Count)[:0]
 		for _, k := range idxs {
 			packed = append(packed, blocks[k]...)
 		}
 		chargeCopy(a, len(idxs)*a.Count)
 		m := a.R.Sendrecv(dst, a.Tag+bit, packed, a.Bytes(len(packed)), src, a.Tag+bit)
+		// The received payload is the peer's freshly packed buffer for this
+		// round; the peer never touches it again, so blocks can alias it.
 		for i, k := range idxs {
-			blocks[k] = clonev(m.Data[i*a.Count : (i+1)*a.Count])
+			blocks[k] = m.Data[i*a.Count : (i+1)*a.Count]
 		}
 		chargeCopy(a, len(idxs)*a.Count)
 	}
 
 	// Phase 3: inverse rotation. After the exchange rounds, blocks[k] holds
 	// the data sent *to me* by rank (me-k) mod p.
-	res := make([]float64, p*a.Count)
+	res := a.alloc(p * a.Count)
 	for k := 0; k < p; k++ {
 		srcRank := (me - k + p) % p
 		copy(chunk(a, res, srcRank), blocks[k])
@@ -154,7 +172,7 @@ func alltoallLinearSync(a *Args) ([]float64, error) {
 		return nil, err
 	}
 	p, me := a.size(), a.me()
-	res := make([]float64, p*a.Count)
+	res := a.alloc(p * a.Count)
 	copy(chunk(a, res, me), chunk(a, a.Data, me))
 	chargeCopy(a, a.Count)
 	if p == 1 {
@@ -178,7 +196,7 @@ func alltoallLinearSync(a *Args) ([]float64, error) {
 		src := (me - i + p) % p
 		dst := (me + i) % p
 		rq := a.R.Irecv(src, a.Tag)
-		sq := a.R.Issend(dst, a.Tag, clonev(chunk(a, a.Data, dst)), a.Bytes(a.Count))
+		sq := a.R.Issend(dst, a.Tag, chunk(a, a.Data, dst), a.Bytes(a.Count))
 		slots = append(slots, slot{rq: rq, sq: sq, src: src})
 		flush(window - 1)
 	}
@@ -195,14 +213,14 @@ func alltoallRing(a *Args) ([]float64, error) {
 		return nil, err
 	}
 	p, me := a.size(), a.me()
-	res := make([]float64, p*a.Count)
+	res := a.alloc(p * a.Count)
 	copy(chunk(a, res, me), chunk(a, a.Data, me))
 	chargeCopy(a, a.Count)
 	for s := 1; s < p; s++ {
 		sendTo := (me + s) % p
 		recvFrom := (me - s + p) % p
 		rq := a.R.Irecv(recvFrom, a.Tag+s)
-		sq := a.R.Isend(sendTo, a.Tag+s, clonev(chunk(a, a.Data, sendTo)), a.Bytes(a.Count))
+		sq := a.R.Isend(sendTo, a.Tag+s, chunk(a, a.Data, sendTo), a.Bytes(a.Count))
 		m := rq.Wait()
 		copy(chunk(a, res, recvFrom), m.Data)
 		sq.Wait()

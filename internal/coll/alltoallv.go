@@ -93,7 +93,7 @@ func alltoallvBasicLinear(a *Args) ([]float64, error) {
 		m := q.Wait()
 		chunks[srcs[i]] = m.Data
 	}
-	mpi.Waitall(sends...)
+	waitall(sends)
 	return assembleV(chunks), nil
 }
 

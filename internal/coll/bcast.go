@@ -65,7 +65,7 @@ func bcastLinear(a *Args) ([]float64, error) {
 			}
 			reqs = append(reqs, a.R.Isend(d, a.Tag, a.Data, a.Bytes(a.Count)))
 		}
-		mpi.Waitall(reqs...)
+		waitall(reqs)
 		return clonev(a.Data), nil
 	}
 	return a.R.Recv(root, a.Tag).Data, nil
@@ -105,7 +105,7 @@ func treeBcastSegmented(a *Args, t tree, segDefault int) ([]float64, error) {
 			sends = append(sends, a.R.Isend(c, a.Tag+s, clonev(buf[lo:hi]), a.Bytes(hi-lo)))
 		}
 	}
-	mpi.Waitall(sends...)
+	waitall(sends)
 	return buf, nil
 }
 

@@ -73,7 +73,16 @@ type Args struct {
 	Root int
 	// Data is this rank's input. Reduce/Allreduce/Bcast(root)/Gather: Count
 	// elements. Alltoall/Scatter(root): Count*p elements (p chunks of Count).
+	// Algorithms treat Data as read-only, so callers may reuse one buffer
+	// across invocations.
 	Data []float64
+	// Arena, when non-nil, provides uncleared backing storage that the
+	// algorithm may carve its result and scratch buffers from (see alloc).
+	// The caller owns it and must treat both the arena and any previously
+	// returned result as invalidated when it starts the next collective with
+	// the same arena. Algorithms that use it fully overwrite every slice
+	// they carve, so stale contents never leak.
+	Arena []float64
 	// Count is the number of elements per destination (Alltoall, Scatter,
 	// Gather, Allgather) or the total vector length (Reduce, Allreduce,
 	// Bcast).
@@ -91,6 +100,22 @@ type Args struct {
 	// Tag is the base tag for this invocation; callers running collectives
 	// back to back must use distinct bases (see NextTag).
 	Tag int
+
+	// arenaOff is the carve cursor into Arena; Args values are per
+	// invocation, so it starts at zero for every collective call.
+	arenaOff int
+}
+
+// alloc returns a length-n float64 slice for result or scratch use: carved
+// from a.Arena when enough capacity remains, freshly allocated otherwise.
+// The slice is NOT cleared; callers must fully overwrite it.
+func (a *Args) alloc(n int) []float64 {
+	if rest := len(a.Arena) - a.arenaOff; rest >= n {
+		s := a.Arena[a.arenaOff : a.arenaOff+n : a.arenaOff+n]
+		a.arenaOff += n
+		return s
+	}
+	return make([]float64, n)
 }
 
 func (a *Args) size() int { return a.R.Size() }
@@ -235,8 +260,15 @@ func Istart(al Algorithm, a *Args) *mpi.AsyncOp {
 // mpiRequest is a local alias to keep schedule code compact.
 type mpiRequest = mpi.Request
 
-// waitall waits for a slice of requests in order.
-func waitall(reqs []*mpi.Request) { mpi.Waitall(reqs...) }
+// waitall waits for a slice of requests in order, like mpi.Waitall but
+// without materializing the (discarded) message slice.
+func waitall(reqs []*mpi.Request) {
+	for _, q := range reqs {
+		if q != nil {
+			q.Wait()
+		}
+	}
+}
 
 // clonev returns a copy of v (never nil for non-nil input).
 func clonev(v []float64) []float64 {

@@ -133,7 +133,7 @@ func scatterLinear(a *Args) ([]float64, error) {
 			}
 			reqs = append(reqs, a.R.Isend(d, a.Tag, clonev(a.Data[d*a.Count:(d+1)*a.Count]), a.Bytes(a.Count)))
 		}
-		mpi.Waitall(reqs...)
+		waitall(reqs)
 		return clonev(a.Data[root*a.Count : (root+1)*a.Count]), nil
 	}
 	return a.R.Recv(root, a.Tag).Data, nil

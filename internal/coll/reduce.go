@@ -86,7 +86,7 @@ func treeReduceSegmented(a *Args, t tree, segDefault int) ([]float64, error) {
 			sendReqs = append(sendReqs, a.R.Isend(t.parent, a.Tag+s, clonev(res[lo:hi]), a.Bytes(hi-lo)))
 		}
 	}
-	mpi.Waitall(sendReqs...)
+	waitall(sendReqs)
 	if t.parent >= 0 {
 		return nil, nil
 	}

@@ -164,7 +164,7 @@ func reduceScatterRecursiveHalving(a *Args) ([]float64, error) {
 		m := a.R.Recv(owner, redistTag+olo%tagSpan8())
 		copy(out[olo-blo:ohi-blo], m.Data)
 	}
-	mpi.Waitall(sends...)
+	waitall(sends)
 	return out, nil
 }
 

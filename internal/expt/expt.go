@@ -310,12 +310,21 @@ func buildMatrix(ctx context.Context, g GridConfig, tolerate bool) (*core.Matrix
 		}
 	}
 
-	// Pass 2: the pattern rows, one cell per (row, algorithm).
+	// Pass 2: the pattern rows, one cell per (row, algorithm). Generate is a
+	// pure function of its arguments, so a row's pattern is materialized
+	// once per distinct skew instead of once per algorithm — under the
+	// default (grid-average) skew policy that is a single generation per
+	// row, shared read-only by every cell in it.
 	cells = cells[:0]
 	for si, sh := range g.Shapes {
 		row := si + 1
+		var pat pattern.Pattern
+		patSkew, patOK := int64(0), false
 		for j, al := range g.Algorithms {
-			pat := pattern.Generate(sh, g.Procs, skewFor(j), runner.PatternSeed(g.Seed, si))
+			if s := skewFor(j); !patOK || s != patSkew {
+				pat = pattern.Generate(sh, g.Procs, s, runner.PatternSeed(g.Seed, si))
+				patSkew, patOK = s, true
+			}
 			cells = append(cells, runner.Cell{
 				Label:  sh.String() + "/" + al.Name,
 				Config: g.cellConfig(al, pat, runner.CellSeed(g.Seed, row, j)),

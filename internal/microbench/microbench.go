@@ -15,6 +15,7 @@ package microbench
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"collsel/internal/clocksync"
 	"collsel/internal/coll"
@@ -152,9 +153,10 @@ func Run(cfg Config) (Result, error) {
 	total := cfg.Warmup + cfg.Reps
 	arrive := make([][]float64, total) // [rep][rank] synced-clock ns
 	exit := make([][]float64, total)
+	timestamps := make([]float64, 2*total*cfg.Procs)
 	for i := range arrive {
-		arrive[i] = make([]float64, cfg.Procs)
-		exit[i] = make([]float64, cfg.Procs)
+		arrive[i] = timestamps[(2*i)*cfg.Procs : (2*i+1)*cfg.Procs]
+		exit[i] = timestamps[(2*i+1)*cfg.Procs : (2*i+2)*cfg.Procs]
 	}
 	delay := func(rank int) int64 {
 		if cfg.Pattern.Size() == 0 {
@@ -168,7 +170,51 @@ func Run(cfg Config) (Result, error) {
 		patName = pattern.NoDelay.String()
 	}
 
+	// bs.bufs[i] is rank i's input buffer and bs.arenas[i] its result/scratch
+	// arena (coll.Args.Arena); the whole set travels through bufSetPool from
+	// world to world, carrying its fill watermarks with it (see bufSet).
+	bs := bufSetGet(cfg.Procs)
 	runErr := w.Run(func(r *mpi.Rank) {
+		// Each rank reuses one input buffer across repetitions AND across
+		// worlds: algorithms treat Args.Data as read-only, the rep-N+1
+		// harmonize barrier cannot complete before every rank has finished
+		// validating rep N, and the fill value is a function of the rank id
+		// alone — so a pooled buffer that rank i filled in a previous world
+		// is already correct for rank i here. bs.filled[i] tracks the
+		// initialized prefix; only the uninitialized suffix is ever written.
+		fill := func(n int) []float64 {
+			id := r.ID()
+			b := bs.bufs[id]
+			if cap(b) < n {
+				if b != nil {
+					payloadPool.Put(&b)
+				}
+				b = payloadGet(n)
+				bs.bufs[id] = b
+				bs.filled[id] = 0
+			}
+			b = b[:n]
+			v := float64(id + 1)
+			for i := bs.filled[id]; i < n; i++ {
+				b[i] = v
+			}
+			if n > bs.filled[id] {
+				bs.filled[id] = n
+			}
+			return b
+		}
+		arena := func(n int) []float64 {
+			id := r.ID()
+			b := bs.arenas[id]
+			if cap(b) < n {
+				if b != nil {
+					payloadPool.Put(&b)
+				}
+				b = payloadGet(n)
+				bs.arenas[id] = b
+			}
+			return b[:n]
+		}
 		// Synchronize clocks once up front, as ReproMPI+HCA3 do.
 		if cfg.Platform.Clock.Enabled && !cfg.PerfectClocks {
 			r.SyncClock(clocksync.DefaultHCAConfig())
@@ -180,7 +226,7 @@ func Run(cfg Config) (Result, error) {
 			// Apply this rank's skew: busy-wait until window + delay_i.
 			r.WaitUntilSyncedNs(window + float64(delay(r.ID())))
 			arrive[rep][r.ID()] = r.SyncedNowNs()
-			out, err := runOnce(cfg, r)
+			out, err := runOnce(cfg, r, fill, arena)
 			if err != nil {
 				r.Abort("collective failed: %v", err)
 			}
@@ -192,6 +238,12 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	})
+	// The world is dead: nothing references the input buffers, requests or
+	// transport events anymore (the collectives' results are copies,
+	// validated and discarded inside the rank programs), so the storage can
+	// be recycled for the next cell. Statistics stay readable after Release.
+	bufSetPool.Put(bs)
+	w.Release()
 	if runErr != nil {
 		return Result{}, runErr
 	}
@@ -233,8 +285,67 @@ func collect(ms []RepMetrics, f func(RepMetrics) float64) []float64 {
 	return out
 }
 
+// bufSet is one world's worth of per-rank payload storage: input buffers,
+// scratch arenas and the fill watermarks. The set is pooled as a unit so
+// that buffer i always returns to rank i — and because fill writes the
+// constant float64(i+1), a recycled buffer's initialized prefix is already
+// correct for its next world, making steady-state fills (and their cache
+// traffic) vanish entirely.
+type bufSet struct {
+	bufs   [][]float64
+	arenas [][]float64
+	// filled[i] is the length of the prefix of bufs[i] known to hold the
+	// rank-i fill value; the invariant survives the simulation because
+	// collective algorithms treat Args.Data as read-only.
+	filled []int
+}
+
+var bufSetPool sync.Pool // *bufSet
+
+// bufSetGet returns a buffer set with room for procs ranks.
+func bufSetGet(procs int) *bufSet {
+	var bs *bufSet
+	if v := bufSetPool.Get(); v != nil {
+		bs = v.(*bufSet)
+	} else {
+		bs = &bufSet{}
+	}
+	for len(bs.bufs) < procs {
+		bs.bufs = append(bs.bufs, nil)
+		bs.arenas = append(bs.arenas, nil)
+		bs.filled = append(bs.filled, 0)
+	}
+	return bs
+}
+
+// payloadPool recycles individual payload buffers outgrown by their bufSet
+// slot; fill overwrites the used prefix deterministically, so recycled
+// contents never leak into results.
+var payloadPool sync.Pool
+
+// payloadGet returns a buffer with capacity >= n (length n), pooled when
+// possible. Fresh buffers round their capacity up to the next power of two
+// so that a sweep over slowly growing message sizes (a decision-table
+// compile, the cold-select path) keeps hitting the pool instead of
+// discarding every buffer as one element too small.
+func payloadGet(n int) []float64 {
+	if v := payloadPool.Get(); v != nil {
+		if b := *(v.(*[]float64)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return make([]float64, n, c)
+}
+
 // runOnce prepares per-collective input data and invokes the algorithm.
-func runOnce(cfg Config, r *mpi.Rank) ([]float64, error) {
+// fill returns the rank's deterministic input vector of the given length,
+// and arena an uncleared scratch/result arena (see the buffer-reuse comment
+// at the call site).
+func runOnce(cfg Config, r *mpi.Rank, fill, arena func(n int) []float64) ([]float64, error) {
 	a := &coll.Args{
 		R:        r,
 		Root:     cfg.Root,
@@ -250,32 +361,29 @@ func runOnce(cfg Config, r *mpi.Rank) ([]float64, error) {
 			counts[i] = cfg.Count
 		}
 		a.Counts = counts
-		a.Data = genData(r.ID(), cfg.Count*r.Size())
+		a.Data = fill(cfg.Count * r.Size())
 	case coll.Alltoall, coll.Scatter, coll.ReduceScatter:
 		need := cfg.Count * r.Size()
+		if cfg.Algorithm.Coll == coll.Alltoall {
+			// Result (p*Count) plus Bruck's packed rounds fit in 3x the
+			// input size for the usual process counts; when an algorithm
+			// needs more, Args.alloc falls back to the heap.
+			a.Arena = arena(3 * need)
+		}
 		if cfg.Algorithm.Coll == coll.Scatter && r.ID() != cfg.Root {
 			break
 		}
-		a.Data = genData(r.ID(), need)
+		a.Data = fill(need)
 	case coll.Bcast:
 		if r.ID() == cfg.Root {
-			a.Data = genData(r.ID(), cfg.Count)
+			a.Data = fill(cfg.Count)
 		}
 	case coll.Barrier:
 		// no data
 	default:
-		a.Data = genData(r.ID(), cfg.Count)
+		a.Data = fill(cfg.Count)
 	}
 	return cfg.Algorithm.Run(a)
-}
-
-// genData produces a deterministic input vector for a rank.
-func genData(rank, n int) []float64 {
-	v := make([]float64, n)
-	for i := range v {
-		v[i] = float64(rank + 1)
-	}
-	return v
 }
 
 // validateResult cross-checks collective semantics for the data produced by

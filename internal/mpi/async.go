@@ -36,11 +36,16 @@ func (r *Rank) StartAsync(name string, fn func() ([]float64, error)) *AsyncOp {
 // Done reports whether the operation has completed (MPI_Test).
 func (op *AsyncOp) Done() bool { return op.done }
 
+// BlockReason implements sim.BlockReason for processes blocked in Wait.
+func (op *AsyncOp) BlockReason() string {
+	return fmt.Sprintf("rank %d wait async", op.r.id)
+}
+
 // Wait blocks the calling process until the operation completes and
 // returns its result (MPI_Wait).
 func (op *AsyncOp) Wait() ([]float64, error) {
 	if !op.done {
-		op.cond.Wait(op.r.curProc(), fmt.Sprintf("rank %d wait async", op.r.id))
+		op.cond.WaitWith(op.r.curProc(), op)
 	}
 	return op.result, op.err
 }

@@ -24,9 +24,11 @@ type Rank struct {
 	unexpected []*inMsg   // arrived-but-unmatched messages, in arrival order
 
 	// Non-overtaking state: incoming per-source reorder FIFOs and outgoing
-	// per-destination sequence counters.
-	inFIFO  map[int]*pairFIFO
-	outPseq map[int]int64
+	// per-destination sequence counters. Both are rank-indexed slices
+	// materialized on first use — collectives touch most pairs anyway, and
+	// indexing beats per-pair map allocations on the delivery hot path.
+	inFIFO  []pairFIFO
+	outPseq []int64
 
 	// syncModel maps this rank's local clock to the reference clock; set by
 	// SyncClock, identity by default.
@@ -47,20 +49,15 @@ func (r *Rank) NextCollSeq() int {
 // pairFIFO returns the reorder buffer for messages arriving from src.
 func (r *Rank) pairFIFO(src int) *pairFIFO {
 	if r.inFIFO == nil {
-		r.inFIFO = make(map[int]*pairFIFO)
+		r.inFIFO = r.w.fifoSlab(r.id)
 	}
-	f, ok := r.inFIFO[src]
-	if !ok {
-		f = &pairFIFO{pending: make(map[int64]*inMsg)}
-		r.inFIFO[src] = f
-	}
-	return f
+	return &r.inFIFO[src]
 }
 
 // nextPseq returns the next per-pair sequence number for messages to dst.
 func (r *Rank) nextPseq(dst int) int64 {
 	if r.outPseq == nil {
-		r.outPseq = make(map[int]int64)
+		r.outPseq = r.w.pseqSlab(r.id)
 	}
 	v := r.outPseq[dst]
 	r.outPseq[dst] = v + 1

@@ -39,8 +39,94 @@ type inMsg struct {
 // pairFIFO reorders messages of one directed (src,dst) pair back into send
 // order before they reach the matching layer.
 type pairFIFO struct {
-	next    int64
-	pending map[int64]*inMsg
+	next int64
+	// pending holds out-of-order arrivals awaiting their predecessors; it
+	// only fills when link jitter reorders the wire, stays tiny, and is
+	// scanned linearly by pseq.
+	pending []*inMsg
+}
+
+// take removes and returns the pending message with sequence pseq, if any.
+func (f *pairFIFO) take(pseq int64) (*inMsg, bool) {
+	for i, m := range f.pending {
+		if m.pseq == pseq {
+			last := len(f.pending) - 1
+			f.pending[i] = f.pending[last]
+			f.pending[last] = nil
+			f.pending = f.pending[:last]
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// --- pooled transport events -------------------------------------------------
+
+// Transport fast-path events are pooled tev values implementing sim.Timer,
+// so the steady-state message flow schedules no closures and allocates
+// nothing. Fault-path events (retransmissions, crashes) stay closures: they
+// are rare by construction and their capture lists are irregular.
+const (
+	opSelfDeliver     = iota // self-send: complete the send, deliver locally
+	opSendComplete           // last byte left the send port
+	opArriveAtPort           // first byte reached the receiver port
+	opDeliver                // message (or RTS) fully arrived: match it
+	opSendRndvData           // CTS arrived back: push the rendezvous payload
+	opArriveToRequest        // rendezvous payload reached the receiver port
+	opRecvComplete           // rendezvous payload drained: complete the recv
+)
+
+// tev is one pooled transport event. Fire copies its fields out and returns
+// the value to the world's free list before acting, so handlers can
+// schedule new events without clobbering the one in flight.
+type tev struct {
+	w    *World
+	op   int
+	m    *inMsg
+	req  *Request
+	arg  int64 // transferNs for the arrive ops
+	next *tev  // free-list link
+}
+
+// schedule enqueues a pooled transport event at absolute virtual time at.
+func (w *World) schedule(at sim.Time, op int, m *inMsg, req *Request, arg int64) {
+	e := w.tevFree
+	if e == nil {
+		e = &tev{}
+	} else {
+		w.tevFree = e.next
+	}
+	// e.w is assigned on every use: free chains are recycled across worlds
+	// (World.Release), so a pooled tev may have been born elsewhere.
+	e.w, e.op, e.m, e.req, e.arg = w, op, m, req, arg
+	w.K.AtTimer(at, e)
+}
+
+// Fire implements sim.Timer.
+func (e *tev) Fire(_ *sim.Kernel) {
+	w, op, m, req, arg := e.w, e.op, e.m, e.req, e.arg
+	e.m, e.req, e.next = nil, nil, w.tevFree
+	w.tevFree = e
+	switch op {
+	case opSelfDeliver:
+		m.sendReq.complete()
+		w.deliverPayload(m)
+	case opSendComplete:
+		m.sendReq.complete()
+	case opArriveAtPort:
+		w.arriveAtPort(m, arg)
+	case opDeliver:
+		w.deliverPayload(m)
+	case opSendRndvData:
+		w.sendRendezvousData(m, req, 0)
+	case opArriveToRequest:
+		w.arriveToRequest(m, req, arg)
+	case opRecvComplete:
+		w.totalMessages++
+		w.totalBytes += int64(m.bytes)
+		req.msg = m
+		req.complete()
+	}
 }
 
 // Request represents an outstanding non-blocking operation.
@@ -70,6 +156,27 @@ func (q *Request) complete() {
 	}
 }
 
+// BlockReason implements sim.BlockReason: the diagnostic of a process
+// blocked in Wait, rendered only if the run ends in a deadlock or watchdog
+// report.
+func (q *Request) BlockReason() string {
+	kind := "send"
+	if q.isRecv {
+		kind = fmt.Sprintf("recv(src=%d,tag=%d)", q.src, q.tag)
+	}
+	return fmt.Sprintf("rank %d wait %s", q.r.id, kind)
+}
+
+// waitAnyReason is the lazy diagnostic of a process blocked in WaitAny.
+type waitAnyReason struct {
+	r *Rank
+	n int
+}
+
+func (w *waitAnyReason) BlockReason() string {
+	return fmt.Sprintf("rank %d waitany(%d reqs)", w.r.id, w.n)
+}
+
 // WaitAny blocks until at least one of the given requests has completed
 // and returns its index and message (MPI_Waitany). Completed requests may
 // be passed as nil to skip them; if all requests are nil, WaitAny returns
@@ -85,6 +192,7 @@ func WaitAny(reqs []*Request) (int, Message) {
 	if r == nil {
 		return -1, Message{}
 	}
+	reason := &waitAnyReason{r: r, n: len(reqs)}
 	for {
 		for i, q := range reqs {
 			if q != nil && q.done {
@@ -97,7 +205,7 @@ func WaitAny(reqs []*Request) (int, Message) {
 				q.anyCond = &c
 			}
 		}
-		c.Wait(r.curProc(), fmt.Sprintf("rank %d waitany(%d reqs)", r.id, len(reqs)))
+		c.WaitWith(r.curProc(), reason)
 		for _, q := range reqs {
 			if q != nil && !q.done {
 				q.anyCond = nil
@@ -110,11 +218,7 @@ func WaitAny(reqs []*Request) (int, Message) {
 // received message; for sends the returned Message is zero-valued.
 func (q *Request) Wait() Message {
 	if !q.done {
-		kind := "send"
-		if q.isRecv {
-			kind = fmt.Sprintf("recv(src=%d,tag=%d)", q.src, q.tag)
-		}
-		q.cond.Wait(q.r.curProc(), fmt.Sprintf("rank %d wait %s", q.r.id, kind))
+		q.cond.WaitWith(q.r.curProc(), q)
 	}
 	if q.isRecv && q.msg != nil {
 		return Message{Source: q.msg.src, Tag: q.msg.tag, Data: q.msg.data, Bytes: q.msg.bytes}
@@ -145,21 +249,20 @@ func (r *Rank) Isend(dst, tag int, data []float64, bytes int) *Request {
 		bytes = 8 * len(data)
 	}
 	w := r.w
-	req := &Request{r: r}
+	req := w.newRequest()
+	req.r = r
 	if dst < 0 || dst >= w.size {
 		r.Abort("Isend to invalid rank %d", dst)
 		return req
 	}
 	w.msgSeq++
-	m := &inMsg{src: r.id, dst: dst, tag: tag, data: data, bytes: bytes, seq: w.msgSeq, pseq: r.nextPseq(dst), sendReq: req}
+	m := w.newInMsg()
+	*m = inMsg{src: r.id, dst: dst, tag: tag, data: data, bytes: bytes, seq: w.msgSeq, pseq: r.nextPseq(dst), sendReq: req}
 
 	if dst == r.id {
 		// Self message: local copy.
 		cost := int64(float64(bytes) * w.plat.CopyNsPerByte)
-		w.K.After(cost, func() {
-			req.complete()
-			w.deliverPayload(m)
-		})
+		w.schedule(w.K.Now()+cost, opSelfDeliver, m, nil, 0)
 		return req
 	}
 
@@ -226,13 +329,13 @@ func (r *Rank) sendEager(m *inMsg, attempt int) {
 	firstByteAt := start + w.plat.OverheadNs + lat
 
 	if attempt == 0 {
-		w.K.At(sendDone, func() { m.sendReq.complete() })
+		w.schedule(sendDone, opSendComplete, m, nil, 0)
 	}
 	if w.fault.Drop(m.src, m.dst, m.pseq, fault.ChannelEager, attempt) {
 		w.retryOrFail(m, attempt, sendDone, func(next int) { r.sendEager(m, next) })
 		return
 	}
-	w.K.At(firstByteAt, func() { w.arriveAtPort(m, link.TransferNs(m.bytes)) })
+	w.schedule(firstByteAt, opArriveAtPort, m, nil, link.TransferNs(m.bytes))
 }
 
 // startRendezvous sends a zero-byte RTS; data moves once the receiver has a
@@ -252,8 +355,9 @@ func (r *Rank) sendRTS(m *inMsg, attempt int) {
 		w.retryOrFail(m, attempt, rtsOut, func(next int) { r.sendRTS(m, next) })
 		return
 	}
-	rts := &inMsg{src: m.src, dst: m.dst, tag: m.tag, bytes: m.bytes, seq: m.seq, pseq: m.pseq, rndv: true, sendReq: m.sendReq, data: m.data}
-	w.K.At(rtsOut+lat, func() { w.deliverPayload(rts) })
+	rts := w.newInMsg()
+	*rts = inMsg{src: m.src, dst: m.dst, tag: m.tag, bytes: m.bytes, seq: m.seq, pseq: m.pseq, rndv: true, sendReq: m.sendReq, data: m.data}
+	w.schedule(rtsOut+lat, opDeliver, rts, nil, 0)
 }
 
 // releaseRendezvous is called on the receiver when a posted receive matches
@@ -271,7 +375,7 @@ func (w *World) releaseRendezvous(rts *inMsg, recvReq *Request) {
 	ctsOut := start + w.plat.OverheadNs
 	receiver.sendBusyUntil = ctsOut
 	lat := w.noise.LatencyNs(dst, link.LatencyNs)
-	w.K.At(ctsOut+lat, func() { w.sendRendezvousData(rts, recvReq, 0) })
+	w.schedule(ctsOut+lat, opSendRndvData, rts, recvReq, 0)
 }
 
 // sendRendezvousData models one post-CTS bulk transfer attempt from the
@@ -286,16 +390,15 @@ func (w *World) sendRendezvousData(rts *inMsg, recvReq *Request, attempt int) {
 	dlat := w.noise.LatencyNs(src, dlink.LatencyNs)
 	firstByteAt := s + w.plat.OverheadNs + dlat
 	if attempt == 0 {
-		w.K.At(sendDone, func() { rts.sendReq.complete() })
+		w.schedule(sendDone, opSendComplete, rts, nil, 0)
 	}
 	if w.fault.Drop(src, dst, rts.pseq, fault.ChannelData, attempt) {
 		w.retryOrFail(rts, attempt, sendDone, func(next int) { w.sendRendezvousData(rts, recvReq, next) })
 		return
 	}
-	data := &inMsg{src: src, dst: dst, tag: rts.tag, data: rts.data, bytes: rts.bytes, seq: rts.seq}
-	w.K.At(firstByteAt, func() {
-		w.arriveToRequest(data, recvReq, dlink.TransferNs(rts.bytes))
-	})
+	data := w.newInMsg()
+	*data = inMsg{src: src, dst: dst, tag: rts.tag, data: rts.data, bytes: rts.bytes, seq: rts.seq}
+	w.schedule(firstByteAt, opArriveToRequest, data, recvReq, dlink.TransferNs(rts.bytes))
 }
 
 // arriveAtPort serializes the message through the receiver's ejection port
@@ -304,7 +407,7 @@ func (w *World) arriveAtPort(m *inMsg, transferNs int64) {
 	dst := w.ranks[m.dst]
 	completion := maxTime(w.K.Now(), dst.recvBusyUntil) + transferNs + w.plat.OverheadNs
 	dst.recvBusyUntil = completion
-	w.K.At(completion, func() { w.deliverPayload(m) })
+	w.schedule(completion, opDeliver, m, nil, 0)
 }
 
 // arriveToRequest is the rendezvous-data variant of arriveAtPort: the
@@ -313,12 +416,7 @@ func (w *World) arriveToRequest(m *inMsg, req *Request, transferNs int64) {
 	dst := w.ranks[m.dst]
 	completion := maxTime(w.K.Now(), dst.recvBusyUntil) + transferNs + w.plat.OverheadNs
 	dst.recvBusyUntil = completion
-	w.K.At(completion, func() {
-		w.totalMessages++
-		w.totalBytes += int64(m.bytes)
-		req.msg = m
-		req.complete()
-	})
+	w.schedule(completion, opRecvComplete, m, req, 0)
 }
 
 // deliverPayload runs at the instant a message (or RTS envelope) physically
@@ -328,17 +426,16 @@ func (w *World) deliverPayload(m *inMsg) {
 	dst := w.ranks[m.dst]
 	fifo := dst.pairFIFO(m.src)
 	if m.pseq != fifo.next {
-		fifo.pending[m.pseq] = m
+		fifo.pending = append(fifo.pending, m)
 		return
 	}
 	w.matchOrQueue(m)
 	fifo.next++
 	for {
-		nm, ok := fifo.pending[fifo.next]
+		nm, ok := fifo.take(fifo.next)
 		if !ok {
 			break
 		}
-		delete(fifo.pending, fifo.next)
 		w.matchOrQueue(nm)
 		fifo.next++
 	}
@@ -383,7 +480,8 @@ func (w *World) chargeMatch(dst *Rank, entries int) {
 // Irecv posts a non-blocking receive for a message from src with tag.
 func (r *Rank) Irecv(src, tag int) *Request {
 	w := r.w
-	req := &Request{r: r, isRecv: true, src: src, tag: tag}
+	req := w.newRequest()
+	req.r, req.isRecv, req.src, req.tag = r, true, src, tag
 	if src < 0 || src >= w.size {
 		r.Abort("Irecv from invalid rank %d", src)
 		return req
@@ -417,19 +515,18 @@ func (r *Rank) Issend(dst, tag int, data []float64, bytes int) *Request {
 		bytes = 8 * len(data)
 	}
 	w := r.w
-	req := &Request{r: r}
+	req := w.newRequest()
+	req.r = r
 	if dst < 0 || dst >= w.size {
 		r.Abort("Issend to invalid rank %d", dst)
 		return req
 	}
 	w.msgSeq++
-	m := &inMsg{src: r.id, dst: dst, tag: tag, data: data, bytes: bytes, seq: w.msgSeq, pseq: r.nextPseq(dst), sendReq: req}
+	m := w.newInMsg()
+	*m = inMsg{src: r.id, dst: dst, tag: tag, data: data, bytes: bytes, seq: w.msgSeq, pseq: r.nextPseq(dst), sendReq: req}
 	if dst == r.id {
 		cost := int64(float64(bytes) * w.plat.CopyNsPerByte)
-		w.K.After(cost, func() {
-			req.complete()
-			w.deliverPayload(m)
-		})
+		w.schedule(w.K.Now()+cost, opSelfDeliver, m, nil, 0)
 		return req
 	}
 	r.startRendezvous(m)

@@ -12,6 +12,8 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"collsel/internal/clocksync"
 	"collsel/internal/fault"
@@ -33,11 +35,146 @@ type World struct {
 	size   int
 	msgSeq int64
 
+	// tevFree is the free list of pooled transport events; steady-state
+	// message flow recycles these instead of allocating per event.
+	tevFree *tev
+	// reqArena and msgArena are bump allocators for Requests and inMsgs:
+	// both are small, world-lifetime objects created once per message, so
+	// chunked allocation cuts the per-message allocation count without any
+	// reuse hazards. reqChunks/msgChunks track the chunk backing arrays so
+	// Release can recycle them process-wide.
+	reqArena  []Request
+	msgArena  []inMsg
+	reqChunks [][]Request
+	msgChunks [][]inMsg
+	// fifoBacking and pseqBacking are size*size slabs carved into per-rank
+	// slices on first use (Rank.pairFIFO / Rank.nextPseq); pooling the slab
+	// replaces size allocations per world with one pool hit.
+	fifoBacking []pairFIFO
+	pseqBacking []int64
+
 	// stats
 	totalMessages int64
 	totalBytes    int64
 	retransmits   int64
 	drops         int64
+}
+
+// arenaChunk is the bump-allocator chunk size for Requests and inMsgs.
+const arenaChunk = 64
+
+// reqChunkPool and msgChunkPool recycle arena chunks across worlds; chunks
+// are zeroed before they are pooled (Release), so a recycled chunk is
+// indistinguishable from a fresh allocation.
+var (
+	reqChunkPool sync.Pool // *[]Request
+	msgChunkPool sync.Pool // *[]inMsg
+	tevChainPool sync.Pool // *tev (head of a zeroed free chain)
+	fifoSlabPool sync.Pool // *[]pairFIFO, zeroed
+	pseqSlabPool sync.Pool // *[]int64, zeroed
+)
+
+// fifoSlab returns rank's size-wide slice of the world's reorder-FIFO slab.
+func (w *World) fifoSlab(rank int) []pairFIFO {
+	if w.fifoBacking == nil {
+		n := w.size * w.size
+		if v := fifoSlabPool.Get(); v != nil && cap(*(v.(*[]pairFIFO))) >= n {
+			w.fifoBacking = (*(v.(*[]pairFIFO)))[:n]
+		} else {
+			w.fifoBacking = make([]pairFIFO, n)
+		}
+	}
+	return w.fifoBacking[rank*w.size : (rank+1)*w.size]
+}
+
+// pseqSlab returns rank's size-wide slice of the world's sequence-counter slab.
+func (w *World) pseqSlab(rank int) []int64 {
+	if w.pseqBacking == nil {
+		n := w.size * w.size
+		if v := pseqSlabPool.Get(); v != nil && cap(*(v.(*[]int64))) >= n {
+			w.pseqBacking = (*(v.(*[]int64)))[:n]
+		} else {
+			w.pseqBacking = make([]int64, n)
+		}
+	}
+	return w.pseqBacking[rank*w.size : (rank+1)*w.size]
+}
+
+// newRequest returns a zeroed Request from the world's arena.
+func (w *World) newRequest() *Request {
+	if len(w.reqArena) == 0 {
+		var c []Request
+		if v := reqChunkPool.Get(); v != nil {
+			c = *(v.(*[]Request))
+		} else {
+			c = make([]Request, arenaChunk)
+		}
+		w.reqChunks = append(w.reqChunks, c)
+		w.reqArena = c
+	}
+	q := &w.reqArena[0]
+	w.reqArena = w.reqArena[1:]
+	return q
+}
+
+// newInMsg returns an uninitialized inMsg from the world's arena; callers
+// assign the full struct.
+func (w *World) newInMsg() *inMsg {
+	if len(w.msgArena) == 0 {
+		var c []inMsg
+		if v := msgChunkPool.Get(); v != nil {
+			c = *(v.(*[]inMsg))
+		} else {
+			c = make([]inMsg, arenaChunk)
+		}
+		w.msgChunks = append(w.msgChunks, c)
+		w.msgArena = c
+	}
+	m := &w.msgArena[0]
+	w.msgArena = w.msgArena[1:]
+	return m
+}
+
+// Release returns the world's message/request arenas, transport-event free
+// list and kernel event storage to process-wide pools. Call it only once
+// the simulation is finished and every Message obtained from it has been
+// consumed; statistics (MessageCount, DropCount, ...) remain readable.
+func (w *World) Release() {
+	for _, c := range w.reqChunks {
+		c := c
+		clear(c)
+		reqChunkPool.Put(&c)
+	}
+	w.reqChunks, w.reqArena = nil, nil
+	for _, c := range w.msgChunks {
+		c := c
+		clear(c)
+		msgChunkPool.Put(&c)
+	}
+	w.msgChunks, w.msgArena = nil, nil
+	if w.fifoBacking != nil {
+		b := w.fifoBacking
+		clear(b)
+		fifoSlabPool.Put(&b)
+		w.fifoBacking = nil
+	}
+	if w.pseqBacking != nil {
+		b := w.pseqBacking
+		clear(b)
+		pseqSlabPool.Put(&b)
+		w.pseqBacking = nil
+	}
+	if w.tevFree != nil {
+		for e := w.tevFree; ; e = e.next {
+			e.w, e.m, e.req, e.op, e.arg = nil, nil, nil, 0, 0
+			if e.next == nil {
+				break
+			}
+		}
+		tevChainPool.Put(w.tevFree)
+		w.tevFree = nil
+	}
+	w.K.Release()
 }
 
 // Config controls world construction.
@@ -80,10 +217,20 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Size <= 0 || cfg.Size > p.Size() {
 		return nil, fmt.Errorf("mpi: size %d out of range [1, %d] on %s", cfg.Size, p.Size(), p.Name)
 	}
+	var kopts []sim.Option
+	if cfg.DeadlineNs > 0 {
+		kopts = append(kopts, sim.WithDeadline(cfg.DeadlineNs))
+	}
+	if cfg.Cancel != nil {
+		kopts = append(kopts, sim.WithCancel(cfg.Cancel))
+	}
 	w := &World{
-		K:    sim.NewKernel(),
+		K:    sim.New(kopts...),
 		plat: p,
 		size: cfg.Size,
+	}
+	if v := tevChainPool.Get(); v != nil {
+		w.tevFree = v.(*tev)
 	}
 	if cfg.NoNoise || !p.Noise.Enabled {
 		w.noise = noise.Inert(cfg.Size)
@@ -96,15 +243,11 @@ func NewWorld(cfg Config) (*World, error) {
 		w.clocks = clocksync.NewEnsemble(p.Clock, cfg.Size, cfg.Seed)
 	}
 	w.fault = fault.NewPlan(p, cfg.Size, cfg.Seed, cfg.Fault)
-	if cfg.DeadlineNs > 0 {
-		w.K.SetDeadline(cfg.DeadlineNs)
-	}
-	if cfg.Cancel != nil {
-		w.K.SetCancel(cfg.Cancel)
-	}
 	w.ranks = make([]*Rank, cfg.Size)
+	slab := make([]Rank, cfg.Size)
 	for i := 0; i < cfg.Size; i++ {
-		w.ranks[i] = &Rank{w: w, id: i, syncModel: clocksync.Identity()}
+		slab[i] = Rank{w: w, id: i, syncModel: clocksync.Identity()}
+		w.ranks[i] = &slab[i]
 	}
 	return w, nil
 }
@@ -162,12 +305,37 @@ func (w *World) Run(main func(r *Rank)) error {
 	}
 	for i := 0; i < w.size; i++ {
 		r := w.ranks[i]
-		w.K.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		w.K.Spawn(rankName(i), func(p *sim.Proc) {
 			r.proc = p
 			main(r)
 		})
 	}
 	return w.K.Run()
+}
+
+// rankNames caches process names ("rank0", "rank1", ...): every world of
+// every grid cell names the same first few hundred ranks, so the strings
+// are interned process-wide instead of formatted per world. The table only
+// grows, by copy-on-write; concurrent worlds race at worst to publish
+// identical contents.
+var rankNames atomic.Pointer[[]string]
+
+func rankName(i int) string {
+	if t := rankNames.Load(); t != nil && i < len(*t) {
+		return (*t)[i]
+	}
+	n := i + 64
+	t := make([]string, n)
+	if old := rankNames.Load(); old != nil {
+		copy(t, *old)
+	}
+	for j := range t {
+		if t[j] == "" {
+			t[j] = fmt.Sprintf("rank%d", j)
+		}
+	}
+	rankNames.Store(&t)
+	return t[i]
 }
 
 // --- fault surface -----------------------------------------------------------

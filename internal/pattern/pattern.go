@@ -9,10 +9,11 @@ import (
 	"bufio"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+
+	"collsel/internal/prand"
 )
 
 // Shape identifies one arrival-pattern shape.
@@ -121,10 +122,11 @@ func Generate(sh Shape, p int, maxSkewNs int64, seed int64) Pattern {
 	case FirstDelayed:
 		d[0] = maxSkewNs
 	case Random:
-		rng := rand.New(rand.NewSource(seed ^ 0x9a7caf))
+		rng := prand.Get(seed ^ 0x9a7caf)
 		for i := range d {
 			d[i] = int64(rng.Float64() * s)
 		}
+		prand.Put(rng)
 	case VShape:
 		for i := range d {
 			d[i] = int64(s * abs(2*frac(i)-1))

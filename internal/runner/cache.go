@@ -5,10 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"strings"
+	"strconv"
 	"sync"
 
+	"collsel/internal/fault"
 	"collsel/internal/microbench"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
@@ -20,40 +20,149 @@ import (
 // so the key is safe to memoize on. Platforms and patterns are fingerprinted
 // by content, not by pointer, so the preset constructors (which return a
 // fresh *Platform per call) still share cache entries.
+// The key layout is
+//
+//	pl=%s|n=%d|coll=%v|alg=%d:%s|cnt=%d|es=%d|root=%d|pat=%s|reps=%d|
+//	warm=%d|seed=%d|pc=%t|nn=%t|val=%t|flt=%+v|wd=%d
+//
+// rendered with strconv appends instead of fmt: keying is on the cold-path
+// selection's critical path (one key per grid cell), and the fmt verbs —
+// notably the reflective %+v over the fault profile — dominated its cost.
+// TestCellKeyMatchesFmtReference pins the byte-for-byte equivalence.
 func CellKey(cfg microbench.Config) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "pl=%s|n=%d|coll=%v|alg=%d:%s|cnt=%d|es=%d|root=%d|pat=%s|reps=%d|warm=%d|seed=%d|pc=%t|nn=%t|val=%t|flt=%+v|wd=%d",
-		platformKey(cfg.Platform), cfg.Procs,
-		cfg.Algorithm.Coll, cfg.Algorithm.ID, cfg.Algorithm.Name,
-		cfg.Count, cfg.ElemSize, cfg.Root,
-		patternKey(cfg.Pattern),
-		cfg.Reps, cfg.Warmup, cfg.Seed,
-		cfg.PerfectClocks, cfg.NoNoise, cfg.Validate,
-		cfg.Faults, cfg.WatchdogNs)
-	return b.String()
+	// The buffer lives on the stack (string(b) copies out; nothing retains
+	// b), so a typical key costs exactly one allocation — the final string.
+	var buf [384]byte
+	b := buf[:0]
+	b = append(b, "pl="...)
+	b = append(b, platformKey(cfg.Platform)...)
+	b = append(b, "|n="...)
+	b = strconv.AppendInt(b, int64(cfg.Procs), 10)
+	b = append(b, "|coll="...)
+	b = append(b, cfg.Algorithm.Coll.String()...)
+	b = append(b, "|alg="...)
+	b = strconv.AppendInt(b, int64(cfg.Algorithm.ID), 10)
+	b = append(b, ':')
+	b = append(b, cfg.Algorithm.Name...)
+	b = append(b, "|cnt="...)
+	b = strconv.AppendInt(b, int64(cfg.Count), 10)
+	b = append(b, "|es="...)
+	b = strconv.AppendInt(b, int64(cfg.ElemSize), 10)
+	b = append(b, "|root="...)
+	b = strconv.AppendInt(b, int64(cfg.Root), 10)
+	b = append(b, "|pat="...)
+	b = appendPatternKey(b, cfg.Pattern)
+	b = append(b, "|reps="...)
+	b = strconv.AppendInt(b, int64(cfg.Reps), 10)
+	b = append(b, "|warm="...)
+	b = strconv.AppendInt(b, int64(cfg.Warmup), 10)
+	b = append(b, "|seed="...)
+	b = strconv.AppendInt(b, cfg.Seed, 10)
+	b = append(b, "|pc="...)
+	b = strconv.AppendBool(b, cfg.PerfectClocks)
+	b = append(b, "|nn="...)
+	b = strconv.AppendBool(b, cfg.NoNoise)
+	b = append(b, "|val="...)
+	b = strconv.AppendBool(b, cfg.Validate)
+	b = append(b, "|flt="...)
+	b = append(b, faultKey(cfg.Faults)...)
+	b = append(b, "|wd="...)
+	b = strconv.AppendInt(b, cfg.WatchdogNs, 10)
+	return string(b)
 }
+
+// faultKeys memoizes the %+v rendering of fault profiles: a grid keys every
+// cell against the same (usually zero-valued) profile, and the reflective
+// formatting is far more expensive than the lookup. Profiles are all-scalar
+// and comparable, so the struct itself is the map key. Capped like
+// platformKeys so adversarial profile churn cannot grow it without bound.
+var (
+	faultKeys   sync.Map // fault.Profile -> string
+	faultKeyLen int64
+	faultKeysMu sync.Mutex
+	faultKeyCap = int64(1024)
+)
+
+func faultKey(f fault.Profile) string {
+	if v, ok := faultKeys.Load(f); ok {
+		return v.(string)
+	}
+	key := fmt.Sprintf("%+v", f)
+	faultKeysMu.Lock()
+	if faultKeyLen < faultKeyCap {
+		if _, loaded := faultKeys.LoadOrStore(f, key); !loaded {
+			faultKeyLen++
+		}
+	}
+	faultKeysMu.Unlock()
+	return key
+}
+
+// platformKeys memoizes Fingerprint by pointer identity: fingerprinting
+// reflects over the full parameter struct, and a grid keys dozens of cells
+// against the same few *Platform values. Callers treat platforms as
+// immutable after construction (mutating one would also corrupt the cell
+// cache itself), so pointer identity is sound. The map is capped: beyond
+// platformKeyCap distinct pointers (far more live platforms than any real
+// workload holds), keys are computed without being stored, so churning
+// short-lived platforms cannot grow it without bound.
+var (
+	platformKeys   sync.Map // *netmodel.Platform -> string
+	platformKeyLen int64
+	platformKeysMu sync.Mutex
+	platformKeyCap = int64(1024)
+)
 
 // platformKey fingerprints a platform's full parameter set; see
 // netmodel.Platform.Fingerprint (the same identity ties decision-table
 // artifacts to their machine model).
-func platformKey(p *netmodel.Platform) string { return p.Fingerprint() }
+func platformKey(p *netmodel.Platform) string {
+	if v, ok := platformKeys.Load(p); ok {
+		return v.(string)
+	}
+	key := p.Fingerprint()
+	platformKeysMu.Lock()
+	if platformKeyLen < platformKeyCap {
+		if _, loaded := platformKeys.LoadOrStore(p, key); !loaded {
+			platformKeyLen++
+		}
+	}
+	platformKeysMu.Unlock()
+	return key
+}
 
 // patternKey fingerprints a pattern by its name and exact delay vector, so
 // traced application scenarios with equal names but different delays do not
-// collide.
+// collide. The rendering is "%s@%d#%016x" over (name, size, FNV-64a of the
+// little-endian delay bytes), inlined for the same hot-path reason as
+// CellKey.
 func patternKey(p pattern.Pattern) string {
+	return string(appendPatternKey(nil, p))
+}
+
+func appendPatternKey(b []byte, p pattern.Pattern) []byte {
 	if p.Size() == 0 {
-		return "no_delay"
+		return append(b, "no_delay"...)
 	}
-	h := fnv.New64a()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, d := range p.DelaysNs {
-		var buf [8]byte
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(d >> (8 * i))
+			h ^= uint64(byte(d >> (8 * i)))
+			h *= prime64
 		}
-		h.Write(buf[:])
 	}
-	return fmt.Sprintf("%s@%d#%016x", p.Name, p.Size(), h.Sum64())
+	b = append(b, p.Name...)
+	b = append(b, '@')
+	b = strconv.AppendInt(b, int64(p.Size()), 10)
+	b = append(b, '#')
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, "0123456789abcdef"[(h>>uint(shift))&0xf])
+	}
+	return b
 }
 
 // Cache memoizes finished cells by CellKey. It is safe for concurrent use

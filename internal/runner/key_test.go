@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/fault"
+	"collsel/internal/microbench"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+)
+
+// refCellKey is the original fmt-based rendering of CellKey; the strconv
+// fast path must stay byte-for-byte identical to it.
+func refCellKey(cfg microbench.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pl=%s|n=%d|coll=%v|alg=%d:%s|cnt=%d|es=%d|root=%d|pat=%s|reps=%d|warm=%d|seed=%d|pc=%t|nn=%t|val=%t|flt=%+v|wd=%d",
+		platformKey(cfg.Platform), cfg.Procs,
+		cfg.Algorithm.Coll, cfg.Algorithm.ID, cfg.Algorithm.Name,
+		cfg.Count, cfg.ElemSize, cfg.Root,
+		refPatternKey(cfg.Pattern),
+		cfg.Reps, cfg.Warmup, cfg.Seed,
+		cfg.PerfectClocks, cfg.NoNoise, cfg.Validate,
+		cfg.Faults, cfg.WatchdogNs)
+	return b.String()
+}
+
+func refPatternKey(p pattern.Pattern) string {
+	if p.Size() == 0 {
+		return "no_delay"
+	}
+	h := fnv.New64a()
+	for _, d := range p.DelaysNs {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(d >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%s@%d#%016x", p.Name, p.Size(), h.Sum64())
+}
+
+func TestCellKeyMatchesFmtReference(t *testing.T) {
+	pl := netmodel.SimCluster()
+	algs := coll.TableII(coll.Alltoall)
+	configs := []microbench.Config{
+		{
+			Platform: pl, Procs: 8, Algorithm: algs[0], Count: 512, ElemSize: 8,
+			Reps: 3, Warmup: 1, Seed: 42, PerfectClocks: true, NoNoise: true,
+			Validate: true,
+		},
+		{
+			Platform: pl, Procs: 16, Algorithm: algs[1], Count: 1, ElemSize: 4,
+			Root: 3, Seed: -7, WatchdogNs: 123456789,
+			Pattern: pattern.Generate(pattern.Ascending, 16, 30_000, 1),
+		},
+		{
+			Platform: pl, Procs: 5, Algorithm: algs[len(algs)-1], Count: 4096,
+			ElemSize: 8, Seed: 999,
+			Pattern: pattern.Pattern{Name: "trace@odd name", DelaysNs: []int64{-5, 0, 7, 1 << 40, 3}},
+			Faults: fault.Profile{
+				Enabled: true, DropProb: 0.05, RetryTimeoutNs: 1500,
+				RetryBackoff: 2.5, MaxRetries: -1, DegradeProb: 0.25,
+				DegradeLatencyFactor: 3, DegradeBandwidthFactor: 0.5,
+				DegradeStartMaxNs: 500_000, DegradeDurationNs: 2_000_000,
+				StragglerProb: 0.3, StragglerFactor: 3.75, CrashProb: 0.001,
+				CrashMaxNs: 9_999_999,
+			},
+		},
+	}
+	for i, cfg := range configs {
+		if got, want := CellKey(cfg), refCellKey(cfg); got != want {
+			t.Errorf("config %d:\n got %q\nwant %q", i, got, want)
+		}
+	}
+}

@@ -105,11 +105,18 @@ var (
 	defaultEngine *Engine
 )
 
+// DefaultCacheCap bounds the process-wide default cache: a long-lived
+// server whose cold path churns distinct cells (every uncovered message
+// size is a new cell) would otherwise grow the memo cache — and with it,
+// every GC cycle — without bound. The cap comfortably holds several full
+// decision-table studies.
+const DefaultCacheCap = 8192
+
 // Default returns the process-wide engine: GOMAXPROCS workers and a shared
-// memoization cache, so repeated selections across the whole process never
-// re-simulate identical cells.
+// LRU-bounded memoization cache (DefaultCacheCap completed cells), so
+// repeated selections across the whole process rarely re-simulate a cell.
 func Default() *Engine {
-	defaultOnce.Do(func() { defaultEngine = New() })
+	defaultOnce.Do(func() { defaultEngine = New(WithCache(NewCacheLRU(DefaultCacheCap))) })
 	return defaultEngine
 }
 

@@ -1,0 +1,115 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOrderingAndStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q Queue[int]
+	type key struct {
+		at  int64
+		seq uint64
+	}
+	var want []key
+	for seq := 0; seq < 5000; seq++ {
+		at := int64(rng.Intn(50)) // heavy At collisions to stress the tie-break
+		q.Push(at, uint64(seq), seq)
+		want = append(want, key{at, uint64(seq)})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, w := range want {
+		if at, ok := q.MinAt(); !ok || at != w.at {
+			t.Fatalf("MinAt %d = (%d,%v), want (%d,true)", i, at, ok, w.at)
+		}
+		it := q.Pop()
+		if it.At != w.at || it.Seq != w.seq {
+			t.Fatalf("pop %d = (at=%d,seq=%d), want (at=%d,seq=%d)", i, it.At, it.Seq, w.at, w.seq)
+		}
+		if it.V != int(it.Seq) {
+			t.Fatalf("pop %d payload %d, want %d", i, it.V, it.Seq)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+	if _, ok := q.MinAt(); ok {
+		t.Fatal("MinAt on empty queue reported ok")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	// Hold-and-advance like the kernel: pop the minimum, push a few events
+	// in its future, repeat. The popped sequence must never go backwards.
+	rng := rand.New(rand.NewSource(7))
+	var q Queue[struct{}]
+	var seq uint64
+	push := func(at int64) {
+		seq++
+		q.Push(at, seq, struct{}{})
+	}
+	for i := 0; i < 64; i++ {
+		push(int64(rng.Intn(100)))
+	}
+	lastAt, lastSeq := int64(-1), uint64(0)
+	for q.Len() > 0 {
+		it := q.Pop()
+		if it.At < lastAt || (it.At == lastAt && it.Seq <= lastSeq) {
+			t.Fatalf("order went backwards: (%d,%d) after (%d,%d)", it.At, it.Seq, lastAt, lastSeq)
+		}
+		lastAt, lastSeq = it.At, it.Seq
+		if seq < 20000 {
+			for j := 0; j < rng.Intn(3); j++ {
+				push(it.At + int64(rng.Intn(50)))
+			}
+		}
+	}
+}
+
+func TestPushPopDoesNotAllocateSteadyState(t *testing.T) {
+	var q Queue[[3]uintptr] // kernel event payload is three words
+	for i := 0; i < 1024; i++ {
+		q.Push(int64(i), uint64(i), [3]uintptr{})
+	}
+	for q.Len() > 512 {
+		q.Pop()
+	}
+	var seq uint64 = 1 << 20
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			seq++
+			q.Push(int64(seq), seq, [3]uintptr{})
+		}
+		for i := 0; i < 64; i++ {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkHoldModel mimics the kernel's access pattern: pop one, push one
+// slightly in the future, on a queue of the given standing size.
+func BenchmarkHoldModel(b *testing.B) {
+	var q Queue[[3]uintptr]
+	const standing = 64 // ~2 in-flight events per rank at 32 ranks
+	var seq uint64
+	for i := 0; i < standing; i++ {
+		seq++
+		q.Push(int64(i), seq, [3]uintptr{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := q.Pop()
+		seq++
+		q.Push(it.At+10, seq, [3]uintptr{})
+	}
+}

@@ -1,11 +1,17 @@
 // Package sim implements a deterministic discrete-event simulation kernel
 // with an actor-style process model, in the spirit of SimGrid.
 //
-// Each simulated process runs as its own goroutine, but the kernel enforces
-// strict lock-step execution: at any instant exactly one goroutine — either
-// the kernel scheduler or a single process — is running. Processes block on
-// kernel primitives (Sleep, WaitUntil, condition waits) and are resumed by
-// events popped from a global event queue ordered by virtual time.
+// The kernel is a run-to-completion scheduler: a single loop pops events in
+// virtual-time order and dispatches process continuations directly. Each
+// simulated process is a coroutine (iter.Pull) — suspending into the
+// scheduler and resuming from it are direct coroutine switches on one OS
+// thread, with no channel handoffs and no goroutine parking on the hot
+// path. Processes block on kernel primitives (Sleep, WaitUntil, condition
+// waits) and are resumed by events popped from a global event queue; the
+// queue itself (internal/sim/eventq) stores events by value, so
+// steady-state dispatch performs no allocations. Parallelism belongs one
+// layer up: a Kernel is single-threaded by construction, and
+// internal/runner fans independent simulations out across cores.
 //
 // Virtual time is int64 nanoseconds. Ties between events at the same
 // timestamp are broken by insertion order, which makes every simulation run
@@ -13,66 +19,119 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"collsel/internal/sim/eventq"
 )
 
 // Time is virtual simulation time in nanoseconds.
 type Time = int64
 
-// Event is a scheduled callback. Callbacks run in kernel context and must
-// not block; they typically deliver messages and mark processes runnable.
+// FromDuration converts a wall-clock duration to virtual time; it is the
+// inverse of ToDuration. Use it to express watchdogs and deadlines in
+// time.Duration at API boundaries while the kernel keeps raw nanoseconds.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// ToDuration converts virtual time to a wall-clock duration; it is the
+// inverse of FromDuration.
+func ToDuration(t Time) time.Duration { return time.Duration(t) }
+
+// Timer is a pooled alternative to a closure event: Fire runs in kernel
+// context exactly like a function scheduled with At. Hot paths (message
+// delivery, completion callbacks) implement Timer on a reusable struct so
+// that scheduling does not allocate a fresh closure per event.
+type Timer interface {
+	// Fire runs the timer's action in kernel context; it must not block.
+	Fire(k *Kernel)
+}
+
+// event is one scheduled entry, stored by value in the queue. Exactly one
+// field is set: proc (wake a blocked process — the kernel's own fast
+// path), timer (pooled callback), or fn (one-shot closure).
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	proc  *Proc
+	timer Timer
+	fn    func()
 }
 
 // procState tracks where a process is in its lifecycle.
 type procState int
 
 const (
-	stateNew procState = iota
-	stateRunnable
+	stateRunnable procState = iota
 	stateRunning
 	stateBlocked
 	stateDone
 )
 
+// BlockReason supplies a process's block-reason diagnostic on demand.
+// Blocking primitives accept one (Cond.WaitWith) so that hot paths do not
+// format a string per block; the kernel renders it only if the run ends in
+// a deadlock or watchdog report.
+type BlockReason interface {
+	// BlockReason returns the diagnostic, e.g. "wait recv(src=3,tag=7)".
+	BlockReason() string
+}
+
+// blockInfo is a process's pending block-reason diagnostic, captured
+// cheaply at block time and rendered lazily.
+type blockInfo struct {
+	kind uint8
+	arg  int64
+	str  string
+	prov BlockReason
+}
+
+const (
+	reasonNone uint8 = iota
+	reasonStatic
+	reasonLazy
+	reasonSleep
+	reasonWaitUntil
+	reasonYield
+)
+
+func (b *blockInfo) render() string {
+	switch b.kind {
+	case reasonStatic:
+		return b.str
+	case reasonLazy:
+		return b.prov.BlockReason()
+	case reasonSleep:
+		return fmt.Sprintf("sleep(%d)", b.arg)
+	case reasonWaitUntil:
+		return fmt.Sprintf("waitUntil(%d)", b.arg)
+	case reasonYield:
+		return "yield"
+	}
+	return ""
+}
+
 // Proc is a simulated process (actor). All Proc methods that can block must
-// be called from the process's own goroutine, i.e. from within the function
+// be called from the process's own coroutine, i.e. from within the function
 // passed to Spawn.
 type Proc struct {
-	k      *Kernel
-	id     int
-	name   string
-	state  procState
-	resume chan struct{}
-	// blockReason is set while the process is blocked, for deadlock reports.
-	blockReason string
+	k       *Kernel
+	id      int
+	name    string
+	state   procState
+	started bool
+	// fn is the process body, held until the first dispatch hands it to a
+	// coroutine.
+	fn func(*Proc)
+	// co is the coroutine executing this process's body. It is borrowed
+	// from a process-wide pool at first dispatch and returned there when
+	// the body finishes normally (see coro); aborted bodies unwind their
+	// coroutine to exit instead.
+	co *coro
+	// reason describes why the process is blocked, for deadlock reports.
+	reason blockInfo
 }
 
 // ID returns the process identifier assigned at Spawn time (dense, 0-based).
@@ -86,16 +145,14 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 
 // Kernel is the simulation scheduler.
 type Kernel struct {
-	now    Time
-	events eventQueue
-	seq    int64
+	now Time
+	q   eventq.Queue[event]
+	seq uint64
 
-	procs    []*Proc
-	runnable []*Proc // FIFO ready list
-	alive    int     // procs not yet done
+	procs []*Proc
+	ready procRing // FIFO ready list
+	alive int      // procs not yet done
 
-	// yield is signalled by the running process when it blocks or finishes.
-	yield chan struct{}
 	// cur is the process currently executing (nil in kernel context).
 	cur *Proc
 
@@ -103,73 +160,116 @@ type Kernel struct {
 	failure error
 
 	// deadline, when > 0, is the virtual-time watchdog: advancing past it
-	// aborts the run with a DeadlineError (see SetDeadline).
+	// aborts the run with a DeadlineError (see WithDeadline).
 	deadline Time
 
 	// cancel, when non-nil, is polled every cancelCheckInterval events;
-	// once closed, Run aborts with ErrCanceled (see SetCancel).
+	// once closed, Run aborts with ErrCanceled (see WithCancel).
 	cancel     <-chan struct{}
 	eventCount int
 	// aborted flags an early termination (failure, watchdog, cancellation,
-	// deadlock); block() observes it and unwinds the process goroutine.
+	// deadlock); suspended processes observe it while unwinding.
 	aborted bool
 }
 
-// NewKernel creates an empty simulation.
-func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+// Option configures a Kernel at construction time.
+type Option func(*Kernel)
+
+// WithCancel installs a cooperative cancellation channel: once it is
+// closed, Run aborts with ErrCanceled at the next poll point instead of
+// simulating to completion. Pass a context's Done() channel to stop a
+// selection whose requester has gone away or whose deadline has expired. A
+// nil channel (the default) disables the checks entirely, so batch runs
+// pay nothing.
+func WithCancel(ch <-chan struct{}) Option { return func(k *Kernel) { k.cancel = ch } }
+
+// WithDeadline installs a virtual-time watchdog: if the kernel would
+// advance past absolute virtual time t, Run aborts with a *DeadlineError
+// whose diagnostic lists every blocked process and its block reason. A
+// deadline of 0 (the default) disables the watchdog. The watchdog catches
+// runaway simulations — e.g. unbounded retransmission storms — that would
+// otherwise run, or block, forever.
+func WithDeadline(t Time) Option { return func(k *Kernel) { k.deadline = t } }
+
+// New creates an empty simulation configured by opts.
+func New(opts ...Option) *Kernel {
+	k := &Kernel{}
+	if v := eventBufPool.Get(); v != nil {
+		k.q.SetBacking(*(v.(*[]eventq.Item[event])))
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
 }
 
+// eventBufPool recycles event-queue backing arrays across kernels: every
+// simulation re-grows an identical array otherwise, and the per-cell worlds
+// of a selection grid churn through thousands of them.
+var eventBufPool sync.Pool
+
+// Release returns the kernel's event-queue storage to a process-wide pool.
+// Call it only once the simulation is finished and no further Kernel or
+// Proc method will be invoked; diagnostic state (Now, failure) remains
+// readable.
+func (k *Kernel) Release() {
+	h := k.q.TakeBacking()
+	if cap(h) > 0 {
+		eventBufPool.Put(&h)
+	}
+}
+
+// NewKernel creates an empty simulation.
+//
+// Deprecated: use New, which accepts construction-time options.
+func NewKernel() *Kernel { return New() }
+
 // Now returns the current virtual time. Valid from both kernel callbacks and
-// process goroutines (which only run while the kernel is paused).
+// process coroutines (which only run while the kernel is paused).
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run in kernel context at absolute virtual time t.
-// Scheduling in the past is clamped to the current time.
-func (k *Kernel) At(t Time, fn func()) {
+// push enqueues e at absolute time t; scheduling in the past is clamped to
+// the current time, and insertion order breaks timestamp ties.
+func (k *Kernel) push(t Time, e event) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.q.Push(t, k.seq, e)
 }
+
+// At schedules fn to run in kernel context at absolute virtual time t.
+// Scheduling in the past is clamped to the current time. Hot paths should
+// prefer AtTimer, which can reuse one Timer value instead of allocating a
+// closure per event.
+func (k *Kernel) At(t Time, fn func()) { k.push(t, event{fn: fn}) }
 
 // After schedules fn to run d nanoseconds from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
 
+// AtTimer schedules tm.Fire to run in kernel context at absolute virtual
+// time t. Unlike At, scheduling a reusable Timer allocates nothing.
+func (k *Kernel) AtTimer(t Time, tm Timer) { k.push(t, event{timer: tm}) }
+
+// AfterTimer schedules tm.Fire to run d nanoseconds from now.
+func (k *Kernel) AfterTimer(d Time, tm Timer) { k.AtTimer(k.now+d, tm) }
+
 // Spawn creates a new process that will start executing fn at the current
 // virtual time (or at simulation start). It returns the process handle.
+// The body runs on a pooled coroutine bound at first dispatch, so spawning
+// a process that is aborted before it ever runs costs no coroutine at all.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		k:      k,
-		id:     len(k.procs),
-		name:   name,
-		state:  stateNew,
-		resume: make(chan struct{}),
+		k:     k,
+		id:    len(k.procs),
+		name:  name,
+		state: stateRunnable,
+		fn:    fn,
 	}
 	k.procs = append(k.procs, p)
 	k.alive++
-	//collsel:goroutine rank-launch path: the scheduler joins every process via the alive counter, and aborted runs unwind through the abortSignal panic
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSignal); !ok {
-					panic(r)
-				}
-			}
-			p.state = stateDone
-			k.alive--
-			k.yield <- struct{}{}
-		}()
-		<-p.resume // wait for first dispatch
-		if k.aborted {
-			return
-		}
-		fn(p)
-	}()
 	// Make it runnable immediately.
-	p.state = stateRunnable
-	k.runnable = append(k.runnable, p)
+	k.ready.push(p)
 	return p
 }
 
@@ -178,23 +278,27 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 func (k *Kernel) Ready(p *Proc) {
 	if p.state == stateBlocked {
 		p.state = stateRunnable
-		k.runnable = append(k.runnable, p)
+		k.ready.push(p)
 	}
+}
+
+// suspend parks the calling process until Ready is called on it. The
+// caller has already recorded its block reason in p.reason.
+func (p *Proc) suspend() {
+	p.state = stateBlocked
+	if !p.co.yieldFn(struct{}{}) || p.k.aborted {
+		// The kernel is unwinding an aborted run; exit through the Spawn
+		// wrapper so the coroutine does not stay suspended forever.
+		panic(abortSignal{})
+	}
+	p.reason = blockInfo{}
 }
 
 // block suspends the calling process until Ready is called on it.
 // reason is reported in deadlock diagnostics.
 func (p *Proc) block(reason string) {
-	p.state = stateBlocked
-	p.blockReason = reason
-	p.k.yield <- struct{}{}
-	<-p.resume
-	if p.k.aborted {
-		// The kernel is unwinding an aborted run; exit through the Spawn
-		// wrapper so the goroutine does not stay parked forever.
-		panic(abortSignal{})
-	}
-	p.blockReason = ""
+	p.reason = blockInfo{kind: reasonStatic, str: reason}
+	p.suspend()
 }
 
 // Sleep suspends the calling process for d nanoseconds of virtual time.
@@ -204,8 +308,9 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	k := p.k
-	k.After(d, func() { k.Ready(p) })
-	p.block(fmt.Sprintf("sleep(%d)", d))
+	k.push(k.now+d, event{proc: p})
+	p.reason = blockInfo{kind: reasonSleep, arg: d}
+	p.suspend()
 }
 
 // WaitUntil suspends the calling process until virtual time t. If t is in
@@ -215,16 +320,18 @@ func (p *Proc) WaitUntil(t Time) {
 		return
 	}
 	k := p.k
-	k.At(t, func() { k.Ready(p) })
-	p.block(fmt.Sprintf("waitUntil(%d)", t))
+	k.push(t, event{proc: p})
+	p.reason = blockInfo{kind: reasonWaitUntil, arg: t}
+	p.suspend()
 }
 
 // Yield gives up the processor until the kernel has drained all events at
 // the current timestamp that were scheduled before this call.
 func (p *Proc) Yield() {
 	k := p.k
-	k.After(0, func() { k.Ready(p) })
-	p.block("yield")
+	k.push(k.now, event{proc: p})
+	p.reason = blockInfo{kind: reasonYield}
+	p.suspend()
 }
 
 // Cond is a single-waiter condition slot used for blocking waits on state
@@ -241,6 +348,18 @@ func (c *Cond) Wait(p *Proc, reason string) {
 	}
 	c.waiter = p
 	p.block(reason)
+}
+
+// WaitWith blocks like Wait but takes the diagnostic lazily: r is only
+// asked to render itself if the run ends in a deadlock or watchdog report,
+// so hot paths avoid formatting a reason string per block.
+func (c *Cond) WaitWith(p *Proc, r BlockReason) {
+	if c.waiter != nil {
+		panic("sim: Cond already has a waiter")
+	}
+	c.waiter = p
+	p.reason = blockInfo{kind: reasonLazy, prov: r}
+	p.suspend()
 }
 
 // Signal wakes the waiter, if any. Must be called in kernel context or from
@@ -261,13 +380,26 @@ func (c *Cond) HasWaiter() bool { return c.waiter != nil }
 // actor driving a non-blocking collective — can wait on shared state.
 func (k *Kernel) Current() *Proc { return k.cur }
 
-// dispatch runs process p until it blocks or finishes.
+// dispatch resumes process p until it blocks or finishes: one direct
+// coroutine switch in, one out. The first dispatch binds a pooled
+// coroutine to the process; when the body finishes normally the coroutine
+// parks at its idle yield and goes back to the pool.
 func (k *Kernel) dispatch(p *Proc) {
 	p.state = stateRunning
+	if !p.started {
+		p.started = true
+		c := getCoro()
+		c.p, c.fn = p, p.fn
+		p.fn = nil
+		p.co = c
+	}
 	k.cur = p
-	p.resume <- struct{}{}
-	<-k.yield
+	p.co.next()
 	k.cur = nil
+	if p.state == stateDone {
+		putCoro(p.co)
+		p.co = nil
+	}
 }
 
 // Run executes the simulation until the event queue is empty and no process
@@ -286,9 +418,8 @@ func (k *Kernel) Run() error {
 	for {
 		// Drain the ready list first: processes scheduled at the current
 		// instant run before time advances.
-		for len(k.runnable) > 0 {
-			p := k.runnable[0]
-			k.runnable = k.runnable[1:]
+		for k.ready.len() > 0 {
+			p := k.ready.pop()
 			if p.state != stateRunnable {
 				continue
 			}
@@ -297,25 +428,32 @@ func (k *Kernel) Run() error {
 				return k.abort(k.failure)
 			}
 		}
-		if len(k.events) == 0 {
+		if k.q.Len() == 0 {
 			break
 		}
 		if err := k.checkCancel(false); err != nil {
 			return err
 		}
-		e := heap.Pop(&k.events).(*event)
-		if k.deadline > 0 && e.at > k.deadline {
+		it := k.q.Pop()
+		if k.deadline > 0 && it.At > k.deadline {
 			derr := &DeadlineError{
 				DeadlineNs:  k.deadline,
-				NextEventNs: e.at,
+				NextEventNs: it.At,
 				Blocked:     k.blockedSummary(),
 			}
 			return k.abort(derr)
 		}
-		if e.at > k.now {
-			k.now = e.at
+		if it.At > k.now {
+			k.now = it.At
 		}
-		e.fn()
+		switch e := it.V; {
+		case e.proc != nil:
+			k.Ready(e.proc)
+		case e.timer != nil:
+			e.timer.Fire(k)
+		default:
+			e.fn()
+		}
 		if k.failure != nil {
 			return k.abort(k.failure)
 		}
@@ -328,23 +466,146 @@ func (k *Kernel) Run() error {
 	return nil
 }
 
-// abortSignal is the panic value block() uses to unwind a process goroutine
-// when the kernel aborts a run early; the Spawn wrapper recovers it.
+// abortSignal is the panic value suspend() uses to unwind a process
+// coroutine when the kernel aborts a run early; coro.run recovers it so
+// user deferred functions still execute.
 type abortSignal struct{}
 
-// abort unwinds every live process goroutine and returns err. Without the
+// coro is a reusable coroutine that executes process bodies. Between tasks
+// it parks at an idle yield inside its task loop; binding a new (Proc, fn)
+// pair and resuming it starts the next body. Reuse matters because
+// iter.Pull coroutine construction — goroutine creation plus the first
+// stack growth of the body — is a measurable share of per-simulation cost
+// on the selection cold path, and every world spawns one coroutine per
+// rank.
+type coro struct {
+	// next resumes the coroutine until its next suspension; stop unwinds
+	// it (the suspended yield returns false).
+	next func() (struct{}, bool)
+	stop func()
+	// yieldFn is the coroutine's suspension point, captured at start.
+	yieldFn func(struct{}) bool
+	// p and fn are the task bindings, set by dispatch before resuming an
+	// idle coro and cleared by the task loop when the body finishes.
+	p  *Proc
+	fn func(*Proc)
+}
+
+// newCoro starts a coroutine parked before its first task; the first next()
+// runs the task loop.
+func newCoro() *coro {
+	c := &coro{}
+	c.next, c.stop = iter.Pull(func(yield func(struct{}) bool) {
+		c.yieldFn = yield
+		for {
+			c.run()
+			c.p, c.fn = nil, nil
+			// Idle yield: park until the pool hands out this coro again
+			// (yield returns true, bindings already set) or stops it
+			// (yield returns false).
+			if !yield(struct{}{}) {
+				return
+			}
+		}
+	})
+	return c
+}
+
+// run executes one process body. Aborted runs unwind the body through the
+// abortSignal panic, recovered here so user deferred functions still
+// execute; after an abort the enclosing task loop's yield returns false and
+// the coroutine exits instead of returning to the pool.
+func (c *coro) run() {
+	p := c.p
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				panic(r)
+			}
+		}
+		p.state = stateDone
+		p.k.alive--
+	}()
+	if p.k.aborted {
+		return
+	}
+	c.fn(p)
+}
+
+// coroPool is the process-wide free list of idle coroutines. It is an
+// explicit capped list rather than a sync.Pool: a pooled coro owns a parked
+// goroutine, and a goroutine parked on a coroutine is a GC root, so entries
+// evicted by a sync.Pool would leak their goroutine forever. The cap bounds
+// idle goroutines; overflow coros are stopped on the spot.
+var coroPool struct {
+	mu   sync.Mutex
+	free []*coro
+}
+
+// coroPoolCap bounds idle pooled coroutines process-wide: enough to recycle
+// the ranks of several concurrently-finishing worlds, small enough that an
+// idle server holds only a handful of parked goroutines.
+const coroPoolCap = 64
+
+func getCoro() *coro {
+	coroPool.mu.Lock()
+	if n := len(coroPool.free); n > 0 {
+		c := coroPool.free[n-1]
+		coroPool.free[n-1] = nil
+		coroPool.free = coroPool.free[:n-1]
+		coroPool.mu.Unlock()
+		return c
+	}
+	coroPool.mu.Unlock()
+	return newCoro()
+}
+
+func putCoro(c *coro) {
+	coroPool.mu.Lock()
+	if len(coroPool.free) < coroPoolCap {
+		coroPool.free = append(coroPool.free, c)
+		coroPool.mu.Unlock()
+		return
+	}
+	coroPool.mu.Unlock()
+	c.stop()
+}
+
+// DrainIdleCoros stops every idle pooled coroutine, releasing their parked
+// goroutines. Tests that assert on goroutine counts and servers shutting
+// down gracefully call it; simulations running concurrently are unaffected
+// (their coroutines are bound, not pooled).
+func DrainIdleCoros() {
+	coroPool.mu.Lock()
+	free := coroPool.free
+	coroPool.free = nil
+	coroPool.mu.Unlock()
+	for _, c := range free {
+		c.stop()
+	}
+}
+
+// abort unwinds every live process coroutine and returns err. Without the
 // unwind, an aborted run (failure, watchdog, cancellation, deadlock) would
-// leave one goroutine per blocked process parked on its resume channel
-// forever — a real leak for long-lived servers that cancel simulations.
+// leave suspended coroutines — and their deferred cleanups — parked
+// forever, a real leak for long-lived servers that cancel simulations.
 func (k *Kernel) abort(err error) error {
 	k.aborted = true
 	for _, p := range k.procs {
 		if p.state == stateDone {
 			continue
 		}
+		if !p.started {
+			// Never dispatched: no coroutine is bound yet, so there is
+			// nothing to unwind — just retire the process.
+			p.fn = nil
+			p.state = stateDone
+			k.alive--
+			continue
+		}
 		k.cur = p
-		p.resume <- struct{}{}
-		<-k.yield
+		p.co.stop()
+		p.co = nil
 		k.cur = nil
 	}
 	return err
@@ -355,7 +616,7 @@ func (k *Kernel) abort(err error) error {
 // of real time, rare enough that the select never shows up in profiles.
 const cancelCheckInterval = 256
 
-// ErrCanceled is returned by Run when the channel installed via SetCancel
+// ErrCanceled is returned by Run when the channel installed via WithCancel
 // is closed. It wraps context.Canceled so callers can classify it with
 // errors.Is.
 var ErrCanceled = fmt.Errorf("sim: run canceled: %w", context.Canceled)
@@ -378,11 +639,9 @@ func (k *Kernel) checkCancel(force bool) error {
 	}
 }
 
-// SetCancel installs a cooperative cancellation channel: once it is closed,
-// Run aborts with ErrCanceled at the next poll point instead of simulating
-// to completion. Pass a context's Done() channel to stop a selection whose
-// requester has gone away or whose deadline has expired. A nil channel (the
-// default) disables the checks entirely, so batch runs pay nothing.
+// SetCancel installs a cooperative cancellation channel.
+//
+// Deprecated: pass WithCancel to New instead.
 func (k *Kernel) SetCancel(ch <-chan struct{}) { k.cancel = ch }
 
 // Fail aborts the simulation with err at the next scheduling point.
@@ -392,16 +651,13 @@ func (k *Kernel) Fail(err error) {
 	}
 }
 
-// SetDeadline installs a virtual-time watchdog: if the kernel would advance
-// past absolute virtual time t, Run aborts with a *DeadlineError whose
-// diagnostic lists every blocked process and its block reason. A deadline
-// of 0 (the default) disables the watchdog. The watchdog catches runaway
-// simulations — e.g. unbounded retransmission storms — that would otherwise
-// run, or block, forever.
+// SetDeadline installs a virtual-time watchdog at absolute virtual time t.
+//
+// Deprecated: pass WithDeadline to New instead.
 func (k *Kernel) SetDeadline(t Time) { k.deadline = t }
 
 // DeadlineError reports a watchdog abort: the next scheduled event lay
-// beyond the deadline set via SetDeadline.
+// beyond the deadline set via WithDeadline.
 type DeadlineError struct {
 	// DeadlineNs is the configured virtual-time deadline.
 	DeadlineNs Time
@@ -422,7 +678,7 @@ func (k *Kernel) blockedSummary() []string {
 	var stuck []string
 	for _, p := range k.procs {
 		if p.state == stateBlocked {
-			stuck = append(stuck, fmt.Sprintf("%s[%d]: %s", p.name, p.id, p.blockReason))
+			stuck = append(stuck, fmt.Sprintf("%s[%d]: %s", p.name, p.id, p.reason.render()))
 		}
 	}
 	sort.Strings(stuck)
@@ -447,4 +703,44 @@ func summarize(stuck []string) string {
 func (k *Kernel) deadlockError() error {
 	stuck := k.blockedSummary()
 	return fmt.Errorf("sim: deadlock at t=%d ns, %d process(es) blocked: %s", k.now, len(stuck), summarize(stuck))
+}
+
+// procRing is a FIFO of runnable processes backed by a reusable circular
+// buffer, so steady-state Ready/dispatch cycles never allocate.
+type procRing struct {
+	buf  []*Proc
+	head int
+	size int
+}
+
+func (r *procRing) len() int { return r.size }
+
+func (r *procRing) push(p *Proc) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = p
+	r.size++
+}
+
+func (r *procRing) pop() *Proc {
+	i := r.head
+	p := r.buf[i]
+	r.buf[i] = nil // release the reference
+	r.head = (i + 1) & (len(r.buf) - 1)
+	r.size--
+	return p
+}
+
+func (r *procRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]*Proc, n) // power-of-two capacity for mask indexing
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }

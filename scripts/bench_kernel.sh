@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench_kernel.sh — run the simulation-kernel benchmark suite and emit
+# BENCH_kernel.json: raw kernel-loop numbers (timer chain, coroutine wake,
+# world churn) plus the end-to-end cold-selection path and its speedup over
+# the recorded pre-rewrite baseline.
+#
+# The baseline is the goroutine-per-rank channel-handoff scheduler this
+# repo shipped before the run-to-completion rewrite, measured on the same
+# box with the same default benchtime (median of 3 fresh-process runs of
+# BenchmarkColdSelectCtx). Override with BASELINE_NS to re-baseline on new
+# hardware.
+#
+# Tunables (environment): GO, OUT, BENCHTIME, REPS, BASELINE_NS.
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_kernel.json}
+BENCHTIME=${BENCHTIME:-1s}
+REPS=${REPS:-3}
+BASELINE_NS=${BASELINE_NS:-3281113}
+
+cd "$(dirname "$0")/.."
+
+kernel_out=$($GO test -run '^$' -bench 'BenchmarkKernel' -benchtime "$BENCHTIME" -benchmem ./internal/sim)
+cold_out=$($GO test -run '^$' -bench 'BenchmarkColdSelectCtx' -benchtime "$BENCHTIME" -count "$REPS" ./internal/serve)
+
+# extract <name> <ns/op> [allocs/op] from `go test -bench` output lines.
+kernel_rows=$(printf '%s\n' "$kernel_out" | awk '
+	/^Benchmark/ {
+		name=$1; sub(/-[0-9]+$/, "", name)
+		ns=""; allocs=""
+		for (i=2; i<=NF; i++) {
+			if ($i == "ns/op")     ns=$(i-1)
+			if ($i == "allocs/op") allocs=$(i-1)
+		}
+		if (out != "") out = out ",\n"
+		out = out sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+	}
+	END { print out }')
+
+# median ns/op across the cold-path reps: robust against cache-growth and
+# GC noise between runs of one process.
+cold_ns=$(printf '%s\n' "$cold_out" | awk '
+	/^BenchmarkColdSelectCtx/ { for (i=2; i<=NF; i++) if ($i == "ns/op") v[n++]=$(i-1) }
+	END {
+		if (n == 0) exit 1
+		asort_done = 0
+		for (i=0; i<n; i++) for (j=i+1; j<n; j++) if (v[j] < v[i]) { t=v[i]; v[i]=v[j]; v[j]=t }
+		print v[int(n/2)]
+	}')
+
+speedup=$(awk -v b="$BASELINE_NS" -v c="$cold_ns" 'BEGIN { printf "%.2f", b / c }')
+gover=$($GO env GOVERSION)
+host_cpu=$(printf '%s\n' "$kernel_out" | awk -F': ' '/^cpu:/ { print $2; exit }')
+
+cat > "$OUT" <<EOF
+{
+  "generated_by": "make bench-kernel (scripts/bench_kernel.sh)",
+  "go": "$gover",
+  "cpu": "$host_cpu",
+  "benchtime": "$BENCHTIME",
+  "kernel": [
+$kernel_rows
+  ],
+  "cold_select": {
+    "benchmark": "BenchmarkColdSelectCtx",
+    "ns_per_op": $cold_ns,
+    "baseline_ns_per_op": $BASELINE_NS,
+    "baseline": "goroutine-per-rank channel scheduler (pre run-to-completion rewrite), median of 3 fresh-process default-benchtime runs on the same box",
+    "speedup": $speedup
+  }
+}
+EOF
+
+echo "bench-kernel: cold path ${cold_ns} ns/op, ${speedup}x over baseline (${BASELINE_NS} ns/op) -> $OUT"

@@ -187,7 +187,8 @@ func Run(cfg Config) (Result, error) {
 			b := bs.bufs[id]
 			if cap(b) < n {
 				if b != nil {
-					payloadPool.Put(&b)
+					old := b // stable header: b is reassigned below
+					payloadPool.Put(&old)
 				}
 				b = payloadGet(n)
 				bs.bufs[id] = b
@@ -208,7 +209,8 @@ func Run(cfg Config) (Result, error) {
 			b := bs.arenas[id]
 			if cap(b) < n {
 				if b != nil {
-					payloadPool.Put(&b)
+					old := b // stable header: b is reassigned below
+					payloadPool.Put(&old)
 				}
 				b = payloadGet(n)
 				bs.arenas[id] = b

@@ -591,7 +591,10 @@ func DrainIdleCoros() {
 // forever, a real leak for long-lived servers that cancel simulations.
 func (k *Kernel) abort(err error) error {
 	k.aborted = true
-	for _, p := range k.procs {
+	// Index loop: a deferred function running during p.co.stop() may Spawn,
+	// appending to k.procs; those late arrivals must be retired too.
+	for i := 0; i < len(k.procs); i++ {
+		p := k.procs[i]
 		if p.state == stateDone {
 			continue
 		}

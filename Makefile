@@ -32,7 +32,7 @@ bench:
 # kernel benchmark artifact (bench-kernel).
 bench-json: bench-kernel
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx' \
+		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkObserveIngest' \
 		-benchtime 1x -json . ./internal/serve > BENCH_select.json
 
 # Simulation-kernel benchmark artifact: raw event-loop / coroutine-wake /
@@ -46,13 +46,15 @@ bench-kernel:
 # Tier-1 verification: what every change must keep green.
 check: build vet lint test race
 
-# Deterministic chaos harness for the serving layer: hanging/failing/slow
-# selections, shed bursts, breaker lifecycle, reload storms, drain — all
-# under the race detector, with a goroutine-leak check per scenario.
-# `build` is the shared prerequisite with serve-smoke, so CI jobs never
-# repeat ad-hoc build steps.
+# Deterministic chaos harness for the serving layer and the feedback loop:
+# hanging/failing/slow selections, shed bursts, breaker lifecycle, reload
+# storms, drain, observe-storm backpressure, recompile-vs-reload swap races
+# and WAL crash recovery — all under the race detector, with a
+# goroutine-leak check per scenario. `build` is the shared prerequisite
+# with serve-smoke, so CI jobs never repeat ad-hoc build steps.
 chaos: build
 	$(GO) test -race -run 'TestChaos|TestBreaker|TestNegativeColdCaching|TestDrainStateMachine|TestFlightFollowerCancel' -count=1 -v ./internal/serve
+	$(GO) test -race -run 'TestPipeline|TestWAL|TestOfferBackpressureAndClose' -count=1 -v ./internal/feedback
 
 # End-to-end serving smoke test against the tools built once by `tools`
 # (the script builds into a temp dir when run standalone).

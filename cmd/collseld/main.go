@@ -6,10 +6,16 @@
 // circuit breaker (-breaker-*) that serves the nearest covered cell while
 // the live path is unhealthy.
 //
-// Endpoints: POST/GET /select, GET /healthz, POST /reload, GET /metrics.
-// SIGHUP also reloads the artifact; SIGINT/SIGTERM first drain (/healthz
-// reports draining so balancers stop routing here, stragglers still get
-// answers) for -drain, then shut down gracefully.
+// Endpoints: POST/GET /select, GET /healthz, POST /reload, POST /observe,
+// GET /metrics. SIGHUP also reloads the artifact; SIGINT/SIGTERM first
+// drain (/healthz reports draining so balancers stop routing here,
+// stragglers still get answers) for -drain, then shut down gracefully.
+//
+// -observe-wal enables the closed feedback loop: POST /observe ingests
+// arrival-pattern observations into a crash-safe write-ahead log, and a
+// background recompiler re-simulates drifted table cells and hot-swaps the
+// tuned artifact in (written next to the WAL as autotuned.json). Without
+// the flag /observe answers 404 and the daemon behaves exactly as before.
 //
 // Usage:
 //
@@ -27,10 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"collsel/internal/cliutil"
+	"collsel/internal/feedback"
 	"collsel/internal/serve"
 	"collsel/internal/store"
 )
@@ -48,6 +56,10 @@ func main() {
 	breakerOpen := flag.Duration("breaker-open", 10*time.Second, "breaker cooldown before the half-open probe")
 	breakerSlow := flag.Duration("breaker-slowcall", 0, "cold selections slower than this count as breaker failures (0 disables)")
 	drainWait := flag.Duration("drain", 10*time.Second, "grace period between SIGTERM (healthz flips to draining) and shutdown")
+	observeWAL := flag.String("observe-wal", "", "directory for the /observe write-ahead log; empty disables the feedback loop")
+	observeBuffer := flag.Int("observe-buffer", 64, "accepted-but-not-yet-logged observation batches; /observe sheds with 429 beyond this")
+	recompileThreshold := flag.Float64("recompile-threshold", 0.25, "skew-factor drift that marks a table cell stale and triggers recompilation")
+	recompileBackoff := flag.Duration("recompile-backoff", 500*time.Millisecond, "base retry delay after a failed recompilation (doubles per failure, capped)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "collseld: ", log.LstdFlags)
@@ -58,8 +70,30 @@ func main() {
 	}
 	logger.Printf("loaded %s: table %s for %s, %d cells", *storePath, tb.Version, tb.Machine, tb.Cells())
 
+	handle := store.NewHandle(tb)
+
+	// The feedback pipeline recovers its WAL before the listener opens:
+	// observations that survived a crash shape the very first recompile.
+	var pipeline *feedback.Pipeline
+	if *observeWAL != "" {
+		pipeline, err = feedback.New(feedback.Config{
+			WALDir:      *observeWAL,
+			Buffer:      *observeBuffer,
+			Plan:        feedback.PlanConfig{Threshold: *recompileThreshold},
+			BackoffBase: *recompileBackoff,
+			Handle:      handle,
+			Logf:        logger.Printf,
+		})
+		if err != nil {
+			cliutil.Fatal("collseld", err)
+		}
+		st := pipeline.Stats()
+		logger.Printf("feedback loop enabled: WAL %s (%d records recovered, %d profiles), artifact %s",
+			*observeWAL, st.WAL.Records, st.Profiles, filepath.Join(*observeWAL, "autotuned.json"))
+	}
+
 	srv, err := serve.New(serve.Config{
-		Handle:          store.NewHandle(tb),
+		Handle:          handle,
 		StorePath:       *storePath,
 		ColdDisabled:    *noCold,
 		ColdWorkers:     *coldWorkers,
@@ -72,10 +106,14 @@ func main() {
 			OpenFor:  *breakerOpen,
 			SlowCall: *breakerSlow,
 		},
-		Logf: logger.Printf,
+		Feedback: pipeline,
+		Logf:     logger.Printf,
 	})
 	if err != nil {
 		cliutil.Fatal("collseld", err)
+	}
+	if pipeline != nil {
+		pipeline.Start()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -132,6 +170,14 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			cliutil.Fatal("collseld", fmt.Errorf("shutdown: %w", err))
+		}
+	}
+	// The pipeline outlives the listener: in-flight /observe handlers may
+	// still be offering batches until Shutdown returns. Close drains every
+	// accepted batch to the WAL — a 202 means durable across the restart.
+	if pipeline != nil {
+		if err := pipeline.Close(); err != nil {
+			logger.Printf("feedback shutdown: %v", err)
 		}
 	}
 }

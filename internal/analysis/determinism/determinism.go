@@ -61,6 +61,11 @@ var DefaultScope = []string{
 	"internal/tuning",
 	"internal/stats",
 	"internal/papaware",
+	// The feedback loop recompiles artifacts from observations: its
+	// aggregation, digests and backoff jitter must replay bit-identically,
+	// so it lives under the same determinism contract as the compiler
+	// (timers for backoff are fine; wall-clock reads are not).
+	"internal/feedback",
 }
 
 var Analyzer = &analysis.Analyzer{

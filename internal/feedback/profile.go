@@ -1,0 +1,249 @@
+package feedback
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+
+	"collsel/internal/coll"
+	"collsel/internal/store"
+)
+
+// Key identifies one empirical skew profile: the (collective, procs,
+// size-bin) bucket its observations summarize. Message sizes are quantized
+// to power-of-two bins so that nearby sizes share a profile.
+type Key struct {
+	Collective string
+	Procs      int
+	BinBytes   int
+}
+
+// SizeBin returns the largest power of two <= msgBytes (msgBytes >= 1).
+func SizeBin(msgBytes int) int {
+	if msgBytes < 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(msgBytes)) - 1)
+}
+
+// state is one profile's accumulator. Pure integer sums: folding is
+// associative and commutative, so the aggregate — and everything derived
+// from it (digest, plan, recompile seed) — is independent of ingest order.
+type state struct {
+	Count       int64
+	SumImbMicro int64
+	SumSpreadNs int64
+}
+
+// Profile is one aggregated bucket as exposed to metrics and planning.
+type Profile struct {
+	Key Key
+	state
+}
+
+// MeanFactor returns the bucket's empirical skew factor, quantized to a
+// 0.01 grid. Quantization serves two masters: it stops recompile churn
+// from microscopic drift, and it keeps the planned patches (hence the
+// recompiled artifact) stable under observation noise at the last decimal.
+func (p Profile) MeanFactor() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return quantizeFactor(p.SumImbMicro / p.Count)
+}
+
+// quantizeFactor rounds integer micro-units to the nearest 0.01.
+func quantizeFactor(micro int64) float64 {
+	centi := (micro + 5_000) / 10_000
+	return float64(centi) / 100
+}
+
+// Aggregator folds WAL records into per-key profiles. It is the only
+// mutable shared state of the feedback loop and is guarded by a mutex none
+// of the serving hot paths ever touch.
+type Aggregator struct {
+	mu sync.Mutex
+	m  map[Key]*state
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{m: map[Key]*state{}} }
+
+// Fold adds a batch of records to the aggregate.
+func (a *Aggregator) Fold(recs []Record) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range recs {
+		a.foldLocked(r)
+	}
+}
+
+// FoldOne adds a single record (the WAL replay callback).
+func (a *Aggregator) FoldOne(r Record) {
+	a.mu.Lock()
+	a.foldLocked(r)
+	a.mu.Unlock()
+}
+
+func (a *Aggregator) foldLocked(r Record) {
+	n := r.Count
+	if n <= 0 {
+		n = 1
+	}
+	k := Key{Collective: r.Collective, Procs: r.Procs, BinBytes: SizeBin(r.MsgBytes)}
+	s := a.m[k]
+	if s == nil {
+		s = &state{}
+		a.m[k] = s
+	}
+	s.Count += n
+	s.SumImbMicro += r.ImbMicro * n
+	s.SumSpreadNs += r.SpreadNs * n
+}
+
+// Profiles returns the aggregate sorted by key — the canonical order every
+// derived value (digest, plan) is computed in.
+func (a *Aggregator) Profiles() []Profile {
+	a.mu.Lock()
+	out := make([]Profile, 0, len(a.m))
+	for k, s := range a.m {
+		out = append(out, Profile{Key: k, state: *s})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Collective != b.Collective {
+			return a.Collective < b.Collective
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		return a.BinBytes < b.BinBytes
+	})
+	return out
+}
+
+// Len returns the number of live profile buckets.
+func (a *Aggregator) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.m)
+}
+
+// Digest returns the SHA-256 digest of the canonical (sorted) aggregate
+// state. Two WALs with the same multiset of records — any ingest order,
+// any batching — digest identically; the digest seeds the recompilation,
+// making the autotuned artifact a pure function of its observations.
+func (a *Aggregator) Digest() string {
+	var b strings.Builder
+	for _, p := range a.Profiles() {
+		fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d\n",
+			p.Key.Collective, p.Key.Procs, p.Key.BinBytes, p.Count, p.SumImbMicro, p.SumSpreadNs)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// PlanConfig parameterizes drift detection.
+type PlanConfig struct {
+	// Threshold is the absolute skew-factor drift that marks a cell stale
+	// (default 0.25): |empirical - compiled| >= Threshold.
+	Threshold float64
+	// MinObs is the minimum observation count (sum of record counts) a
+	// profile needs before it is trusted (default 8).
+	MinObs int64
+}
+
+func (c *PlanConfig) fill() {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.25
+	}
+	if c.MinObs <= 0 {
+		c.MinObs = 8
+	}
+}
+
+// Plan maps the aggregate onto t and returns the patches for every
+// compiled cell whose empirical skew factor has drifted past the
+// threshold, plus the digest of the aggregate the plan was derived from.
+// Profiles the table has no covering cell for are skipped — recompilation
+// refreshes existing cells, it does not grow the grid. The patch list is
+// deterministic: sorted, and a pure function of (aggregate, table).
+func (a *Aggregator) Plan(t *store.Table, cfg PlanConfig) ([]store.CellPatch, string) {
+	cfg.fill()
+	digest := a.Digest()
+	type target struct {
+		c        coll.Collective
+		procs    int
+		msgBytes int
+	}
+	// Several profile bins can map into one table cell (cells own half-open
+	// size ranges); merge them count-weighted before quantizing.
+	acc := map[target]*state{}
+	var order []target
+	for _, p := range a.Profiles() {
+		if p.Count < cfg.MinObs {
+			continue
+		}
+		c, ok := coll.CollectiveByName(p.Key.Collective)
+		if !ok {
+			continue
+		}
+		lk, ok := t.Get(c, p.Key.Procs, p.Key.BinBytes)
+		if !ok {
+			continue
+		}
+		tg := target{c: c, procs: p.Key.Procs, msgBytes: lk.Cell.MsgBytes}
+		s := acc[tg]
+		if s == nil {
+			s = &state{}
+			acc[tg] = s
+			order = append(order, tg) // Profiles() is sorted: first-seen order is canonical
+		}
+		s.Count += p.Count
+		s.SumImbMicro += p.SumImbMicro
+	}
+	var patches []store.CellPatch
+	for _, tg := range order {
+		s := acc[tg]
+		empirical := quantizeFactor(s.SumImbMicro / s.Count)
+		if empirical <= 0 {
+			continue
+		}
+		lk, ok := t.Get(tg.c, tg.procs, tg.msgBytes)
+		if !ok {
+			continue
+		}
+		current := lk.Cell.Factor
+		if current == 0 {
+			current = t.Factor
+		}
+		if current == 0 {
+			current = 1.0 // the selection grid's Factor default
+		}
+		drift := empirical - current
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift >= cfg.Threshold {
+			patches = append(patches, store.CellPatch{
+				Collective: tg.c, Procs: tg.procs, MsgBytes: tg.msgBytes, Factor: empirical,
+			})
+		}
+	}
+	sort.Slice(patches, func(i, j int) bool {
+		a, b := patches[i], patches[j]
+		if a.Collective != b.Collective {
+			return a.Collective.String() < b.Collective.String()
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		return a.MsgBytes < b.MsgBytes
+	})
+	return patches, digest
+}

@@ -1,0 +1,323 @@
+// Package feedback closes the autotuning loop: collseld ingests live
+// arrival-pattern observations, folds them into per-(collective, procs,
+// size-bin) empirical skew profiles, and a background recompiler
+// re-simulates only the drifted table cells and hot-swaps the refreshed
+// artifact — crash-safe end to end, and deterministic: the recompiled
+// artifact is a pure function of (base table, observation WAL), pinned by
+// a replay test.
+//
+// This file is the ingestion side's durability layer: a segmented,
+// CRC-framed write-ahead log. Observations are appended to an active
+// segment (active.wal) and flushed per batch, so killing the process
+// between two appends loses at most the unflushed tail of the last batch;
+// when the active segment outgrows its size limit it is sealed by an
+// atomic rename to seg-NNNNNNNN.wal and a fresh active segment is started.
+// Sealed segments are immutable and must be fully valid; the active
+// segment may carry a torn tail after a crash, which Open truncates away
+// before appending resumes — no corrupt record is ever accepted into the
+// aggregate.
+package feedback
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record is one quantized observation as persisted in the WAL. Imbalance
+// is stored in integer micro-units (ImbMicro = round(factor * 1e6)) so
+// that aggregation is pure integer arithmetic — exactly order-insensitive,
+// which is what makes the profile digest (and hence the recompiled
+// artifact) independent of ingest order.
+type Record struct {
+	Collective string `json:"c"`
+	Procs      int    `json:"p"`
+	MsgBytes   int    `json:"b"`
+	// ImbMicro is the observed imbalance factor (arrival spread over mean
+	// collective runtime) in micro-units: 1.5x -> 1500000.
+	ImbMicro int64 `json:"imb"`
+	// SpreadNs is the observed absolute arrival spread in nanoseconds.
+	SpreadNs int64 `json:"spr"`
+	// Count is how many collective calls this record summarizes (>= 1).
+	Count int64 `json:"n"`
+}
+
+const (
+	activeName = "active.wal"
+	sealPrefix = "seg-"
+	// frameHeader is [u32 payload length][u32 CRC32(payload)], little endian.
+	frameHeader = 8
+	// maxPayload bounds a single record's encoding; anything larger in a
+	// header is corruption, not data.
+	maxPayload = 1 << 20
+	// DefaultSegmentLimit is the default size at which the active segment
+	// is sealed.
+	DefaultSegmentLimit = 4 << 20
+)
+
+// WAL is the append-side handle of the observation log. All methods are
+// safe for concurrent use, though the pipeline funnels appends through a
+// single ingest goroutine.
+type WAL struct {
+	dir      string
+	segLimit int64
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	size     int64 // bytes in the active segment
+	sealed   int64 // bytes across sealed segments
+	nextSeq  int
+	records  int64 // records appended or recovered across all segments
+	segments int
+}
+
+// WALStats is a point-in-time snapshot for metrics.
+type WALStats struct {
+	Records  int64 // valid records across sealed + active segments
+	Bytes    int64 // bytes across sealed + active segments
+	Segments int   // sealed segments + the active one
+}
+
+// OpenWAL opens (or creates) the log in dir and replays it: every valid
+// record — all of the sealed segments plus the active segment up to its
+// last intact frame — is passed to fold in order. A torn tail on the
+// active segment (a crash mid-append) is truncated; corruption inside a
+// sealed segment is a hard error, because sealed data was fully flushed
+// before the rename and cannot tear. segLimit <= 0 uses
+// DefaultSegmentLimit.
+func OpenWAL(dir string, segLimit int64, fold func(Record)) (*WAL, error) {
+	if segLimit <= 0 {
+		segLimit = DefaultSegmentLimit
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, segLimit: segLimit}
+
+	names, err := sealedSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		n, size, tail, err := replaySegment(path, fold)
+		if err != nil {
+			return nil, err
+		}
+		if tail != size {
+			return nil, fmt.Errorf("feedback: sealed segment %s corrupt at offset %d of %d", path, tail, size)
+		}
+		w.records += n
+		w.sealed += size
+		if seq := sealSeq(name); seq >= w.nextSeq {
+			w.nextSeq = seq + 1
+		}
+		w.segments++
+	}
+
+	active := filepath.Join(dir, activeName)
+	n, size, tail, err := replaySegment(active, fold)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err == nil && tail != size {
+		// Torn tail: the crash interrupted an append. Truncate to the last
+		// intact frame so the file is clean for new appends.
+		if err := os.Truncate(active, tail); err != nil {
+			return nil, fmt.Errorf("feedback: truncating torn tail of %s: %w", active, err)
+		}
+		size = tail
+	}
+	w.records += n
+	w.size = size
+
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.segments++ // the active segment
+	return w, nil
+}
+
+// sealedSegments lists seg-*.wal names in ascending sequence order.
+func sealedSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), sealPrefix) && strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func sealSeq(name string) int {
+	var seq int
+	fmt.Sscanf(name, sealPrefix+"%d.wal", &seq)
+	return seq
+}
+
+// replaySegment streams path's valid records into fold and returns the
+// record count, the file size and the offset just past the last intact
+// frame. tail < size means the bytes from tail on are torn or corrupt.
+func replaySegment(path string, fold func(Record)) (n, size, tail int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	size = st.Size()
+	r := bufio.NewReader(f)
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return n, size, tail, nil // clean EOF or torn header
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if plen == 0 || plen > maxPayload {
+			return n, size, tail, nil // corrupt length: treat as tail
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return n, size, tail, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return n, size, tail, nil // corrupt payload
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return n, size, tail, nil // framed garbage
+		}
+		tail += int64(frameHeader) + int64(plen)
+		n++
+		if fold != nil {
+			fold(rec)
+		}
+	}
+}
+
+// encodeFrame appends rec's frame to buf and returns the extension.
+func encodeFrame(buf []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, err
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// Append frames and writes recs, flushing once for the whole batch: after
+// Append returns, the batch has reached the operating system, so only a
+// machine (not process) crash can lose it. When the active segment crosses
+// the size limit it is sealed — fsynced, atomically renamed to its final
+// seg-NNNNNNNN.wal name — and a fresh active segment is started.
+func (w *WAL) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	var err error
+	for _, rec := range recs {
+		if buf, err = encodeFrame(buf, rec); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("feedback: WAL is closed")
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.size += int64(len(buf))
+	w.records += int64(len(recs))
+	if w.size >= w.segLimit {
+		if err := w.sealLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealLocked finalizes the active segment and starts a new one. The rename
+// is atomic, so a reader (or a crashed sealer) sees either the old active
+// file or the completed sealed segment — never a half-sealed state.
+func (w *WAL) sealLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	active := filepath.Join(w.dir, activeName)
+	sealed := filepath.Join(w.dir, fmt.Sprintf("%s%08d.wal", sealPrefix, w.nextSeq))
+	if err := os.Rename(active, sealed); err != nil {
+		return err
+	}
+	w.nextSeq++
+	w.sealed += w.size
+	w.segments++
+	w.size = 0
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.f, w.w = nil, nil
+		return err
+	}
+	w.f = f
+	w.w.Reset(f)
+	return nil
+}
+
+// Stats snapshots the WAL's size for metrics.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{Records: w.records, Bytes: w.sealed + w.size, Segments: w.segments}
+}
+
+// Close flushes and closes the active segment. Further Appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	ferr := w.w.Flush()
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	w.f, w.w = nil, nil
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

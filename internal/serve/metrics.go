@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"collsel/internal/feedback"
 )
 
 // metrics is a minimal, dependency-free Prometheus-text metric set. Only
@@ -31,6 +33,12 @@ type metrics struct {
 	clientCancels    atomic.Int64 // requests abandoned by the client (499)
 	negativeHits     atomic.Int64 // cold queries answered from a cached failure
 	degradedAnswers  atomic.Int64 // nearest-cell answers served with breaker open
+
+	// Observe-path (feedback ingestion) traffic.
+	observeBatches  atomic.Int64 // batches accepted into the feedback pipeline
+	observeRecords  atomic.Int64 // records accepted across those batches
+	observeShed     atomic.Int64 // batches shed with 429 (ingest buffer full)
+	observeRejected atomic.Int64 // batches rejected as malformed (400)
 
 	// latency is the /select latency histogram.
 	latency histogram
@@ -162,3 +170,38 @@ func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, a
 }
 
 func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// renderFeedback appends the feedback-loop exposition: observe-path
+// counters plus a snapshot of the pipeline (WAL, aggregation, recompiler,
+// promotion). Rendered only when a pipeline is configured, after the core
+// render — scrapes of a plain server are byte-identical to pre-feedback
+// builds.
+func renderFeedback(b *strings.Builder, m *metrics, st feedback.Stats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("collseld_observe_batches_total", "Observation batches accepted by /observe.", m.observeBatches.Load())
+	counter("collseld_observe_records_total", "Observation records accepted by /observe.", m.observeRecords.Load())
+	counter("collseld_observe_shed_total", "Observation batches shed with 429 (ingest buffer full).", m.observeShed.Load())
+	counter("collseld_observe_rejected_total", "Observation batches rejected as malformed.", m.observeRejected.Load())
+
+	counter("collseld_feedback_wal_records_total", "Records appended to the observation WAL (including replayed).", st.WAL.Records)
+	gauge("collseld_feedback_wal_bytes", "Bytes in the observation WAL (active segment plus sealed).", st.WAL.Bytes)
+	gauge("collseld_feedback_wal_segments", "Sealed observation WAL segments on disk.", int64(st.WAL.Segments))
+	counter("collseld_feedback_wal_errors_total", "Observation WAL append failures.", st.WALErrors)
+	gauge("collseld_feedback_profiles", "Live empirical skew-profile buckets.", int64(st.Profiles))
+	gauge("collseld_feedback_pending_batches", "Accepted observation batches not yet ingested.", st.PendingBatches)
+	counter("collseld_feedback_batches_ingested_total", "Observation batches WALed and folded.", st.BatchesIngested)
+	counter("collseld_feedback_records_ingested_total", "Observation records WALed and folded.", st.RecordsIngested)
+
+	counter("collseld_feedback_recompile_attempts_total", "Background recompilation attempts.", st.RecompileAttempts)
+	counter("collseld_feedback_recompile_successes_total", "Recompilations promoted into the serving table.", st.RecompileSuccesses)
+	counter("collseld_feedback_recompile_failures_total", "Recompilation attempts that failed.", st.RecompileFailures)
+	counter("collseld_feedback_rollbacks_total", "Promotions rolled back after failed post-swap validation.", st.Rollbacks)
+	counter("collseld_feedback_swaps_lost_total", "Promotions dropped after losing the swap race to a reload.", st.SwapsLost)
+	counter("collseld_feedback_swaps_total", "Tables promoted by the feedback loop.", st.SwapGeneration)
+	gauge("collseld_feedback_backoff_state", "Recompiler backoff state (0=idle, 1=waiting, 2=parked).", st.BackoffState)
+}

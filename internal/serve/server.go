@@ -24,6 +24,7 @@ import (
 
 	"collsel/internal/coll"
 	"collsel/internal/expt"
+	"collsel/internal/feedback"
 	"collsel/internal/netmodel"
 	"collsel/internal/store"
 )
@@ -126,16 +127,21 @@ type Config struct {
 	Breaker BreakerConfig
 	// RetryAfter is the hint stamped on 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// Feedback, when non-nil, enables the /observe endpoint and the
+	// closed-loop autotuner behind it; nil serves 404 on /observe. The
+	// pipeline's lifecycle (Start/Close) belongs to the caller.
+	Feedback *feedback.Pipeline
 	// Logf, when non-nil, receives one line per reload and cold compute.
 	Logf func(format string, args ...any)
 }
 
 // Server implements the HTTP service; obtain its routes with Handler.
 type Server struct {
-	cfg     Config
-	handle  *store.Handle
-	metrics *metrics
-	flights *flightGroup
+	cfg      Config
+	handle   *store.Handle
+	metrics  *metrics
+	flights  *flightGroup
+	feedback *feedback.Pipeline
 	// cold is the cold path's admission controller: worker pool + bounded
 	// wait queue; breaker is the circuit breaker in front of it; drain is
 	// the SIGTERM latch. Together they form the degradation ladder: table
@@ -188,13 +194,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetryAfter = time.Second
 	}
 	s := &Server{
-		cfg:     cfg,
-		handle:  cfg.Handle,
-		metrics: newMetrics(),
-		flights: newFlightGroup(),
-		cold:    newAdmission(cfg.ColdWorkers, int64(cfg.ColdQueue)),
-		breaker: newBreaker(cfg.Breaker, nil),
-		started: time.Now(),
+		cfg:      cfg,
+		handle:   cfg.Handle,
+		metrics:  newMetrics(),
+		flights:  newFlightGroup(),
+		feedback: cfg.Feedback,
+		cold:     newAdmission(cfg.ColdWorkers, int64(cfg.ColdQueue)),
+		breaker:  newBreaker(cfg.Breaker, nil),
+		started:  time.Now(),
 	}
 	if cfg.ColdCacheCap > 0 {
 		s.coldCache = map[string]coldEntry{}
@@ -218,6 +225,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/select", s.handleSelect)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/observe", s.handleObserve)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -597,6 +605,12 @@ func (s *Server) Reload() (ReloadResponse, error) {
 	if old != nil {
 		resp.OldVersion = old.Version
 	}
+	if s.feedback != nil {
+		// The reload may have reinstalled an un-tuned artifact; wake the
+		// recompiler so the accumulated empirical profile is re-applied
+		// instead of lying dormant until the next observation.
+		s.feedback.Kick()
+	}
 	s.logf("reloaded %s: table %s (%d cells, was %s)", s.cfg.StorePath, resp.NewVersion, resp.Cells, resp.OldVersion)
 	return resp, nil
 }
@@ -628,6 +642,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st, opens := s.breaker.snapshot()
 		return st, opens, s.cold.depth()
 	})
+	if s.feedback != nil {
+		renderFeedback(&b, s.metrics, s.feedback.Stats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, b.String())

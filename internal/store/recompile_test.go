@@ -1,0 +1,137 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/netmodel"
+)
+
+func compileTestTable(t *testing.T) *Table {
+	t.Helper()
+	tb, err := Compile(context.Background(), CompileConfig{
+		Platform:    netmodel.SimCluster(),
+		Collectives: []coll.Collective{coll.Alltoall},
+		ProcsList:   []int{8},
+		Sizes:       []int{512, 8192},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestRecompileCellsReplacesOnlyPatchedCells(t *testing.T) {
+	base := compileTestTable(t)
+	baseVersion := base.Version
+
+	patches := []CellPatch{{Collective: coll.Alltoall, Procs: 8, MsgBytes: 512, Factor: 2.5}}
+	nt, err := RecompileCells(context.Background(), base, patches, RecompileConfig{ProfileDigest: "sha256:deadbeef"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Version != baseVersion {
+		t.Fatalf("base table mutated: version %s -> %s", baseVersion, base.Version)
+	}
+	if nt.ProfileDigest != "sha256:deadbeef" {
+		t.Fatalf("profile digest not stamped: %q", nt.ProfileDigest)
+	}
+	if nt.Version == base.Version {
+		t.Fatal("recompiled table has the same content version as the base")
+	}
+	lk, ok := nt.Get(coll.Alltoall, 8, 512)
+	if !ok || lk.Cell.Factor != 2.5 {
+		t.Fatalf("patched cell: ok=%v factor=%g, want factor 2.5", ok, lk.Cell.Factor)
+	}
+	if _, ok := lk.Cell.Winner.Resolve(coll.Alltoall); !ok {
+		t.Fatalf("patched winner %q does not resolve", lk.Cell.Winner.Name)
+	}
+	// The untouched cell must be bit-for-bit the base's.
+	got, _ := nt.Get(coll.Alltoall, 8, 8192)
+	want, _ := base.Get(coll.Alltoall, 8, 8192)
+	if fmt.Sprintf("%+v", got.Cell) != fmt.Sprintf("%+v", want.Cell) {
+		t.Fatalf("untouched cell changed: %+v vs %+v", got.Cell, want.Cell)
+	}
+}
+
+func TestRecompileCellsDeterministicArtifact(t *testing.T) {
+	base := compileTestTable(t)
+	patches := []CellPatch{
+		{Collective: coll.Alltoall, Procs: 8, MsgBytes: 8192, Factor: 1.75},
+		{Collective: coll.Alltoall, Procs: 8, MsgBytes: 512, Factor: 2.0},
+	}
+	dir := t.TempDir()
+	var sums [2]string
+	for i := range sums {
+		// Reverse the patch order on the second run: the result must not
+		// depend on planner ordering.
+		ps := append([]CellPatch(nil), patches...)
+		if i == 1 {
+			ps[0], ps[1] = ps[1], ps[0]
+		}
+		nt, err := RecompileCells(context.Background(), base, ps, RecompileConfig{ProfileDigest: "sha256:0123"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "t.json")
+		if err := nt.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i] = string(raw)
+	}
+	if sums[0] != sums[1] {
+		t.Fatal("recompiled artifacts differ across patch orderings")
+	}
+}
+
+func TestRecompileCellsRejectsBadPatches(t *testing.T) {
+	base := compileTestTable(t)
+	ctx := context.Background()
+	if _, err := RecompileCells(ctx, base, nil, RecompileConfig{ProfileDigest: "d"}); err == nil {
+		t.Fatal("empty patch list accepted")
+	}
+	if _, err := RecompileCells(ctx, base,
+		[]CellPatch{{Collective: coll.Alltoall, Procs: 8, MsgBytes: 1000, Factor: 2}},
+		RecompileConfig{ProfileDigest: "d"}); err == nil {
+		t.Fatal("patch for a size that is no compiled cell accepted")
+	}
+	if _, err := RecompileCells(ctx, base,
+		[]CellPatch{{Collective: coll.Alltoall, Procs: 8, MsgBytes: 512, Factor: 0}},
+		RecompileConfig{ProfileDigest: "d"}); err == nil {
+		t.Fatal("non-positive factor accepted")
+	}
+	if _, err := RecompileCells(ctx, base,
+		[]CellPatch{{Collective: coll.Alltoall, Procs: 8, MsgBytes: 512, Factor: 2}},
+		RecompileConfig{}); err == nil {
+		t.Fatal("missing profile digest accepted")
+	}
+}
+
+func TestHandleCompareAndSwap(t *testing.T) {
+	a, b, c := &Table{Version: "a"}, &Table{Version: "b"}, &Table{Version: "c"}
+	h := NewHandle(a)
+	if !h.CompareAndSwap(a, b) {
+		t.Fatal("CAS from the held table failed")
+	}
+	if h.Table() != b {
+		t.Fatal("CAS did not install the replacement")
+	}
+	if h.CompareAndSwap(a, c) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if h.Table() != b {
+		t.Fatal("stale CAS clobbered the held table")
+	}
+	if got := h.Swaps(); got != 2 {
+		t.Fatalf("swaps = %d, want 2 (initial install + one CAS)", got)
+	}
+}

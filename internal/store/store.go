@@ -62,6 +62,12 @@ type Cell struct {
 	Margin   float64 `json:"margin,omitempty"`
 	// Conventional is what a synchronized (no-delay) benchmark would pick.
 	Conventional AlgoRef `json:"conventional"`
+	// Factor, when non-zero, is the skew factor this cell was recompiled
+	// with by the feedback loop, overriding the table-level Factor: live
+	// observations said the deployment's real imbalance differs from the
+	// compiled assumption, and the cell was re-simulated under the
+	// empirical value. Zero means the cell still carries the table default.
+	Factor float64 `json:"factor,omitempty"`
 	// Degraded is true when fault injection failed at least one grid cell;
 	// Excluded lists the algorithms dropped from the ranking.
 	Degraded bool     `json:"degraded,omitempty"`
@@ -103,6 +109,14 @@ type Table struct {
 	Warmup     int           `json:"warmup,omitempty"`
 	Faults     fault.Profile `json:"faults,omitempty"`
 	WatchdogNs int64         `json:"watchdog_ns,omitempty"`
+
+	// ProfileDigest, when non-empty, records that this table was (partially)
+	// recompiled by the feedback loop from an empirical skew profile: it is
+	// the SHA-256 digest of the aggregated observation state, and the seed
+	// of every recompiled cell is DeriveSeed(Seed, ProfileDigest). Together
+	// with the per-cell Factor overrides it makes an autotuned artifact a
+	// pure function of (base table, observation WAL).
+	ProfileDigest string `json:"profile_digest,omitempty"`
 
 	// Sections are sorted by (collective, procs) for binary search.
 	Sections []Section `json:"sections"`

@@ -41,6 +41,23 @@ func (h *Handle) Swap(t *Table) *Table {
 	return old
 }
 
+// CompareAndSwap installs repl only if the handle still holds old, and
+// reports whether it did. It is the last-writer-wins primitive of the
+// feedback loop's promotion path: a background recompiler that derived
+// repl from snapshot old must not clobber a table an operator /reload
+// installed in the meantime — if the handle moved on, the stale artifact
+// is simply dropped. The same primitive guards rollback: undoing a swap
+// only succeeds while the swapped-in table is still the one being served.
+func (h *Handle) CompareAndSwap(old, repl *Table) bool {
+	if !h.p.CompareAndSwap(old, repl) {
+		return false
+	}
+	h.swaps.Add(1)
+	//collsel:wallclock install time feeds the table-age gauge, operational metadata outside any artifact or simulation result
+	h.loadedUnix.Store(time.Now().Unix())
+	return true
+}
+
 // Swaps returns the number of installs so far.
 func (h *Handle) Swaps() int64 { return h.swaps.Load() }
 

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"collsel/internal/coll"
@@ -122,14 +123,34 @@ func (t *Table) Validate() error {
 	return nil
 }
 
-// Save writes the table as indented JSON.
+// Save writes the table as indented JSON, atomically: a temp file in the
+// destination directory, then rename. A crash mid-write leaves either the
+// old table or the new one on disk, never a torn file — these tables are
+// read by MPI jobs at startup, where a half-written file is a silent
+// mis-selection, not an error.
 func (t *Table) Save(path string) error {
 	t.sort()
 	data, err := json.MarshalIndent(t, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tuning-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // Load reads and validates a table.

@@ -134,3 +134,45 @@ func TestLoadRejectsGarbage(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestSaveAtomicOverwrite pins the temp+rename contract: overwriting an
+// existing table never leaves a torn file (a reader sees the old table or
+// the new one, nothing between) and no temp droppings survive the write.
+func TestSaveAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.json")
+	old := &Table{Machine: "Hydra", Procs: 64}
+	_ = old.Add(Rule{Collective: "alltoall", MinBytes: 0, Algorithm: "bruck"})
+	if err := old.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	nw := &Table{Machine: "Hydra", Procs: 128}
+	_ = nw.Add(Rule{Collective: "alltoall", MinBytes: 0, Algorithm: "pairwise"})
+	if err := nw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 128 || got.Rules[0].Algorithm != "pairwise" {
+		t.Fatalf("overwrite not applied: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "rules.json" {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	// The world-readable mode survives the temp file's restrictive default.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("mode %v, want 0644", info.Mode().Perm())
+	}
+}

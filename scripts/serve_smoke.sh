@@ -2,19 +2,24 @@
 # Serving smoke test: compile a tiny decision-table artifact, boot
 # collseld on it, and assert that the served answer (a) comes from the
 # table, (b) matches the recommendation a direct selection run computes
-# for the same spec, (c) survives a /reload, and (d) under deliberate
+# for the same spec, (c) survives a /reload, (d) under deliberate
 # overload (one worker, no wait queue) sheds excess cold load with
-# well-formed 429 + Retry-After responses. SimCluster is noiseless with
-# perfect clocks, so one repetition is fully deterministic and the two
-# paths must agree exactly.
+# well-formed 429 + Retry-After responses, and (e) with the feedback loop
+# enabled, a batch of drifted arrival-pattern observations posted to
+# /observe triggers a background recompile that hot-swaps a tuned table in
+# while /select keeps answering. SimCluster is noiseless with perfect
+# clocks, so one repetition is fully deterministic and the two paths must
+# agree exactly.
 set -eux
 
 addr=127.0.0.1:18177
 addr2=127.0.0.1:18178
+addr3=127.0.0.1:18179
 tmp=$(mktemp -d)
 pid=
 pid2=
-trap 'test -n "$pid" && kill "$pid" 2>/dev/null; test -n "$pid2" && kill "$pid2" 2>/dev/null; rm -rf "$tmp"' EXIT
+pid3=
+trap 'test -n "$pid" && kill "$pid" 2>/dev/null; test -n "$pid2" && kill "$pid2" 2>/dev/null; test -n "$pid3" && kill "$pid3" 2>/dev/null; rm -rf "$tmp"' EXIT
 
 # `make serve-smoke` builds every tool once (shared with the other CI
 # jobs) and points BIN_DIR here; standalone runs build into the temp dir.
@@ -86,4 +91,46 @@ done
 test "$shed" -ge 1
 curl -sf "http://$addr2/metrics" | grep -q 'collseld_shed_total [1-9]'
 
-echo "serve smoke OK: $served_alg (shed $shed/8 under overload)"
+# Without -observe-wal the feedback loop is off: /observe answers 404.
+observe_off=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{"observations":[{"collective":"alltoall","procs":8,"msg_bytes":2000,"imbalance":2.0}]}' \
+    "http://$addr/observe")
+test "$observe_off" = "404"
+
+# Feedback stage: boot a third daemon with the closed loop enabled and
+# post observations whose empirical skew (2.0) drifts far past the
+# recompile threshold for the 1024-byte cell. The background recompiler
+# must re-simulate that cell and hot-swap the tuned table in.
+"$bindir/collseld" -store "$tmp/table.json" -addr "$addr3" \
+    -observe-wal "$tmp/wal" -recompile-threshold 0.25 &
+pid3=$!
+for _ in $(seq 1 50); do
+    curl -sf "http://$addr3/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+accepted=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"observations":[{"collective":"alltoall","procs":8,"msg_bytes":2000,"imbalance":2.0,"count":16}]}' \
+    "http://$addr3/observe")
+echo "$accepted" | grep -q '"accepted":1'
+
+# Wait for the promotion: the feedback swap counter ticks and the served
+# table advances to a new generation.
+swapped=0
+for _ in $(seq 1 100); do
+    if curl -sf "http://$addr3/metrics" | grep -q 'collseld_feedback_swaps_total [1-9]'; then
+        swapped=1
+        break
+    fi
+    sleep 0.2
+done
+test "$swapped" = "1"
+
+# /select keeps answering across the hot swap, from the tuned table.
+tuned=$(curl -sf "http://$addr3/select?collective=alltoall&msg_bytes=1024&procs=8")
+echo "$tuned" | grep -q '"source":"table"'
+echo "$tuned" | grep -q '"exact":true'
+curl -sf "http://$addr3/metrics" | grep -q 'collseld_feedback_recompile_successes_total [1-9]'
+test -s "$tmp/wal/autotuned.json"
+
+echo "serve smoke OK: $served_alg (shed $shed/8 under overload, feedback recompile swapped)"

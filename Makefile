@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-kernel check chaos serve-smoke fuzz tools clean
+.PHONY: all build vet lint test race bench bench-json bench-kernel check chaos serve-smoke modelcheck fuzz tools clean
 
 all: check
 
@@ -32,7 +32,7 @@ bench:
 # kernel benchmark artifact (bench-kernel).
 bench-json: bench-kernel
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkObserveIngest' \
+		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkModelSelect|BenchmarkObserveIngest' \
 		-benchtime 1x -json . ./internal/serve > BENCH_select.json
 
 # Simulation-kernel benchmark artifact: raw event-loop / coroutine-wake /
@@ -60,6 +60,13 @@ chaos: build
 # (the script builds into a temp dir when run standalone).
 serve-smoke: tools
 	BIN_DIR=$(CURDIR)/bin ./scripts/serve_smoke.sh
+
+# Analytical-model validation: Spearman rank correlation between the
+# closed-form cost model and the simulator, per collective, on the
+# reference machine. Fails below the 0.7 floor — the gate for trusting
+# -model-tier answers and -prune-topk grid builds on that platform.
+modelcheck:
+	$(GO) run ./cmd/modelcheck -machine SimCluster -procs 8
 
 # Randomized end-to-end correctness: every fuzzed (collective, algorithm,
 # procs, size, seed) run validates payloads against a direct computation.

@@ -52,6 +52,8 @@ func main() {
 	coldQueue := flag.Int("cold-queue", 8, "cold requests allowed to wait for a worker; excess is shed with 429 (negative: no waiting)")
 	selectTimeout := flag.Duration("select-timeout", 30*time.Second, "per-request deadline for cold selections, enforced down into the simulation workers (0 disables)")
 	negRetries := flag.Int("negative-retries", 2, "recompute budget for a cached cold-path failure (negative disables negative caching)")
+	modelTier := flag.Bool("model-tier", true, "answer uncovered queries instantly from the analytical cost model while a background simulation refines the cell into the table")
+	observeRetryAfter := flag.Duration("observe-retry-after", time.Second, "Retry-After hint on shed /observe batches (429); tune to the observation producers' batching period")
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive cold failures that trip the circuit breaker open")
 	breakerOpen := flag.Duration("breaker-open", 10*time.Second, "breaker cooldown before the half-open probe")
 	breakerSlow := flag.Duration("breaker-slowcall", 0, "cold selections slower than this count as breaker failures (0 disables)")
@@ -93,14 +95,16 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Handle:          handle,
-		StorePath:       *storePath,
-		ColdDisabled:    *noCold,
-		ColdWorkers:     *coldWorkers,
-		ColdCacheCap:    *coldCache,
-		ColdQueue:       *coldQueue,
-		SelectTimeout:   *selectTimeout,
-		NegativeRetries: *negRetries,
+		Handle:            handle,
+		StorePath:         *storePath,
+		ColdDisabled:      *noCold,
+		ColdWorkers:       *coldWorkers,
+		ColdCacheCap:      *coldCache,
+		ColdQueue:         *coldQueue,
+		SelectTimeout:     *selectTimeout,
+		NegativeRetries:   *negRetries,
+		ModelTier:         *modelTier,
+		ObserveRetryAfter: *observeRetryAfter,
 		Breaker: serve.BreakerConfig{
 			Failures: *breakerFailures,
 			OpenFor:  *breakerOpen,

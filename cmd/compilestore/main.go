@@ -33,6 +33,7 @@ func main() {
 	dropRate := flag.Float64("drop", 0, "message drop probability for fault-aware compilation (0 disables)")
 	retries := flag.Int("retries", 0, "max retransmissions per message when -drop is set (0: library default)")
 	watchdog := flag.Int64("watchdog", 0, "virtual-time watchdog per cell in ns (0 disables)")
+	pruneTopK := flag.Int("prune-topk", 0, "simulate only the analytical model's top K candidates per cell (0: full dense sweep)")
 	workers := flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical at any value")
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	created := flag.Int64("created", time.Now().Unix(), "artifact build timestamp (Unix seconds); fix it for byte-reproducible artifacts")
@@ -80,6 +81,7 @@ func main() {
 		Warmup:      *warmup,
 		Faults:      faults,
 		WatchdogNs:  *watchdog,
+		PruneTopK:   *pruneTopK,
 		Runner:      cliutil.Engine(*workers),
 		Progress:    cliutil.ProgressPrinter(os.Stderr, "compilestore", *progress),
 		CreatedUnix: *created,

@@ -36,6 +36,7 @@ import (
 	"collsel/internal/expt"
 	"collsel/internal/fault"
 	"collsel/internal/microbench"
+	"collsel/internal/model"
 	"collsel/internal/mpi"
 	"collsel/internal/netmodel"
 	_ "collsel/internal/papaware" // register the PAP-aware extension algorithms
@@ -332,6 +333,26 @@ var Gantt = trace.Gantt
 // TraceCall is one recorded collective invocation.
 type TraceCall = trace.Call
 
+// --- Analytical model tier -------------------------------------------------------------
+
+// ModelSpec identifies one analytical (closed-form) selection cell and
+// ModelOutcome its result; see internal/model. The model tier answers the
+// same robustness question as Select in microseconds instead of
+// milliseconds, trading simulation fidelity for closed-form cost
+// estimates — cmd/modelcheck audits the two tiers' rank agreement.
+type (
+	ModelSpec    = model.Spec
+	ModelOutcome = model.Outcome
+)
+
+var (
+	// ModelSelect runs the paper's selection methodology on modeled costs.
+	ModelSelect = model.Select
+	// ModelTopK returns the model's top-k candidates in candidate order —
+	// the primitive behind WithPruneTopK.
+	ModelTopK = model.TopK
+)
+
 // --- High-level selection --------------------------------------------------------------
 
 // SelectConfig parameterizes the one-call selection workflow.
@@ -379,6 +400,11 @@ type SelectConfig struct {
 	// algorithms of the collective (all registered ones when the collective
 	// has no Table II set).
 	Algorithms []Algorithm
+	// PruneTopK, when positive, lets the analytical model tier
+	// (internal/model) rank the candidate set first and simulates only the
+	// top K algorithms — model-guided grid pruning. 0 runs the full dense
+	// sweep.
+	PruneTopK int
 }
 
 // Option adjusts a SelectConfig; see SelectCtx.
@@ -427,6 +453,11 @@ func WithWatchdogDuration(d time.Duration) Option {
 func WithAlgorithms(algs ...Algorithm) Option {
 	return func(c *SelectConfig) { c.Algorithms = algs }
 }
+
+// WithPruneTopK enables model-guided grid pruning: the analytical model
+// tier pre-ranks the candidates and only the top k are simulated. k <= 0
+// runs the full dense sweep.
+func WithPruneTopK(k int) Option { return func(c *SelectConfig) { c.PruneTopK = k } }
 
 // Selection is the outcome of the pattern-aware selection workflow.
 type Selection struct {
@@ -505,6 +536,7 @@ func SelectCtx(ctx context.Context, cfg SelectConfig, opts ...Option) (*Selectio
 		Faults:     cfg.Faults,
 		WatchdogNs: cfg.WatchdogNs,
 		Algorithms: cfg.Algorithms,
+		PruneTopK:  cfg.PruneTopK,
 		Runner:     eng,
 		Progress:   cfg.Progress,
 	})

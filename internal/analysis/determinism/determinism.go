@@ -57,6 +57,10 @@ var DefaultScope = []string{
 	"internal/store",
 	"internal/decision",
 	"internal/expt",
+	// The analytical model tier prunes grids and answers cold misses: a
+	// nondeterministic cost estimate would flap served selections and
+	// desynchronize pruned artifacts from their provenance.
+	"internal/model",
 	"internal/table",
 	"internal/tuning",
 	"internal/stats",

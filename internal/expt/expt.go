@@ -265,7 +265,7 @@ func buildMatrix(ctx context.Context, g GridConfig, tolerate bool) (*core.Matrix
 			noDelay[j] = math.NaN()
 			continue
 		}
-		noDelay[j] = res[j].LastDelay.Mean
+		noDelay[j] = posFloor(res[j].LastDelay.Mean)
 		survivorSum += noDelay[j]
 		survivors++
 		report.Retransmits += res[j].Retransmits
@@ -357,10 +357,24 @@ func buildMatrix(ctx context.Context, g GridConfig, tolerate bool) (*core.Matrix
 		if failed[i] {
 			continue // leave the NaN hole for PruneFailed/exclusion
 		}
-		m.Set(1+i/nAlg, i%nAlg, res[i].LastDelay.Mean)
+		m.Set(1+i/nAlg, i%nAlg, posFloor(res[i].LastDelay.Mean))
 		report.Retransmits += res[i].Retransmits
 		report.Drops += res[i].Drops
 	}
 	report.finish(m)
 	return m, noDelay, report, nil
+}
+
+// posFloor clamps a measured mean last-delay to at least 1 ns. A cell can
+// legitimately measure d̂ = 0 when the schedule fully absorbs the arrival
+// skew (the collective completes the instant the last rank arrives, e.g.
+// an eager linear bcast under an ascending pattern); the selection
+// analyses require strictly positive matrices, and "finished within the
+// clock resolution" is indistinguishable from 1 ns. NaN holes (failed
+// cells) pass through untouched.
+func posFloor(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
 }

@@ -7,6 +7,7 @@ import (
 	"collsel/internal/coll"
 	"collsel/internal/core"
 	"collsel/internal/fault"
+	"collsel/internal/model"
 	"collsel/internal/netmodel"
 	"collsel/internal/pattern"
 	"collsel/internal/runner"
@@ -47,6 +48,14 @@ type SelectSpec struct {
 	// algorithms of the collective (all registered ones when the collective
 	// has no Table II set).
 	Algorithms []coll.Algorithm
+	// PruneTopK, when positive, asks the analytical model tier to rank the
+	// candidate set first and simulates only the model's top K algorithms
+	// (model-guided grid pruning). 0 runs the full dense sweep — the
+	// escape hatch when the model is not trusted for a platform. The
+	// pruned ranking keeps the candidates' original order, so whenever the
+	// dense winner survives the cut the pruned selection reproduces it
+	// bit-for-bit (the robust ranking's tie-break is candidate position).
+	PruneTopK int
 	// Runner executes the grid's cells; nil uses runner.Default().
 	Runner *runner.Engine
 	// Progress, when non-nil, is called after every measured cell with
@@ -101,6 +110,21 @@ func SelectRobustCtx(ctx context.Context, spec SelectSpec) (*SelectOutcome, erro
 	algs := spec.Algorithms
 	if len(algs) == 0 {
 		algs = CandidateAlgorithms(spec.Collective)
+	}
+	if spec.PruneTopK > 0 && spec.PruneTopK < len(algs) {
+		pruned, err := model.TopK(model.Spec{
+			Platform:   spec.Platform,
+			Collective: spec.Collective,
+			MsgBytes:   spec.MsgBytes,
+			Procs:      spec.Procs,
+			Factor:     spec.Factor,
+			Seed:       spec.Seed,
+			Algorithms: algs,
+		}, spec.PruneTopK)
+		if err != nil {
+			return nil, fmt.Errorf("expt: model pruning: %w", err)
+		}
+		algs = pruned
 	}
 	policy := SkewAvgRuntime
 	if spec.MaxSkewNs > 0 {

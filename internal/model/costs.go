@@ -1,0 +1,487 @@
+package model
+
+import (
+	"math/bits"
+
+	"collsel/internal/coll"
+)
+
+// segBytes is the segmentation unit of the pipelined tree algorithms
+// (chain/pipeline/binary bcast and reduce segment at 32 KiB, matching the
+// defaults in internal/coll).
+const segBytes = 32 * 1024
+
+// segRingBytes is the segment size of the segmented-ring allreduce.
+const segRingBytes = 16 * 1024
+
+// chainFanout is the chain algorithms' number of parallel chains.
+const chainFanout = 4
+
+// The closed forms are written in three calibrated primitives:
+//
+//	slot(x) — one x-byte message's occupancy of a busy port: the CPU
+//	          overhead plus transfer time. Back-to-back eager messages
+//	          from one rank pipeline their latency, so a k-message fan
+//	          costs one latency plus k−1 slots, not k latencies.
+//	Msg(x)  — one x-byte message on the critical path end-to-end:
+//	          α + xβ, plus the rendezvous handshake above the eager
+//	          threshold.
+//	fan(k,x)— a rank injecting (or draining) k x-byte messages: pipelined
+//	          in eager mode; fully serialized Msgs in rendezvous mode,
+//	          because each handshake blocks until the peer matches.
+
+func (pr Params) slot(x int) float64 { return pr.OverheadNs + float64(x)*pr.Beta }
+
+func (pr Params) fan(k, x int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if x > pr.EagerBytes {
+		// Rendezvous handshakes overlap the preceding transfer when all
+		// sends are posted up front: one pipeline fill, then the port
+		// serializes transfer + per-message bookkeeping.
+		return pr.Alpha + pr.RendNs + float64(k)*(float64(x)*pr.Beta+2*pr.OverheadNs)
+	}
+	return pr.Alpha + float64(x)*pr.Beta + float64(k-1)*pr.slot(x)
+}
+
+// elemsOf mirrors expt.SizeToCount's element count for a wire size
+// (restated here: expt imports model, so model cannot import expt). The
+// collectives fall back to simpler schedules when the element count is
+// smaller than the communicator, and the model must fall back with them.
+func elemsOf(m int) int {
+	if m < 8 {
+		return 1
+	}
+	if m <= 1024 || m%128 != 0 {
+		return m / 8
+	}
+	return 128
+}
+
+// binDepth is the depth of a balanced binary tree over p ranks.
+func binDepth(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return log2Ceil(p+1) - 1
+}
+
+// chainLen is the length of one of the chain algorithms' parallel chains.
+func chainLen(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(ceilDiv(p-1, chainFanout))
+}
+
+// BaseCost returns the modeled no-delay runtime (ns) of one algorithm of a
+// collective: the closed-form Hockney/LogGP estimate of d̂ when every rank
+// arrives simultaneously. m is the message size in bytes — per pair for
+// Alltoall/Alltoallv, per rank for Allgather and ReduceScatter (whose
+// input vector is p·m), the full buffer otherwise — matching the grid
+// drivers' MsgBytes convention.
+//
+// Every term is monotone non-decreasing in both m and p — ceil(log2 p),
+// (p−1), (p−1)/p, ceil(m/seg), the eager→rendezvous step — so the
+// property tests can assert monotonicity for any preset. Unknown
+// algorithm names (future registrations) fall back to a log-tree shape
+// rather than failing: the model must always produce a usable ranking.
+// The result is strictly positive for every p ≥ 1, m ≥ 1.
+func BaseCost(pr Params, c coll.Collective, name string, m int) float64 {
+	var t float64
+	switch c {
+	case coll.Bcast:
+		t = pr.bcastCost(name, m)
+	case coll.Reduce:
+		t = pr.reduceCost(name, m)
+	case coll.Allreduce:
+		t = pr.allreduceCost(name, m)
+	case coll.Alltoall, coll.Alltoallv:
+		t = pr.alltoallCost(name, m)
+	case coll.Allgather:
+		t = pr.allgatherCost(name, m)
+	case coll.Gather, coll.Scatter:
+		t = pr.gatherCost(name, m)
+	case coll.Barrier:
+		t = pr.barrierCost(name)
+	case coll.ReduceScatter:
+		t = pr.reduceScatterCost(name, m)
+	default:
+		t = log2Ceil(pr.P) * pr.Msg(m)
+	}
+	// Floor: a collective is never cheaper than touching its own buffer
+	// once plus one message start-up; also guards the p == 1 case where
+	// every closed form above collapses to ~0.
+	if floor := pr.Alpha + float64(m)*pr.CopyNs; t < floor {
+		t = floor
+	}
+	return t
+}
+
+func (pr Params) bcastCost(name string, m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	seg := min(m, segBytes)
+	nseg := segCeil(m, segBytes)
+	switch name {
+	case "linear":
+		// Root pushes p−1 full messages out of one port.
+		return pr.fan(p-1, m)
+	case "chain":
+		// chainFanout parallel chains; the root feeds all of them, so every
+		// segment beyond the first pays the extra fan slots at the root.
+		stages := chainLen(p) + nseg - 1
+		return stages*(pr.Msg(seg)+pr.slot(seg)) + (nseg-1)*float64(chainFanout-1)*pr.slot(seg)
+	case "pipeline":
+		// One chain through every rank, segmented: pipeline fill + drain,
+		// one hop per stage.
+		return (float64(p-1) + nseg - 1) * pr.Msg(seg)
+	case "binary":
+		// Balanced binary tree: a stage is either the relay hop or the two
+		// serialized child sends, whichever dominates.
+		stage := pr.Msg(seg)
+		if s := 2 * pr.slot(seg); s > stage {
+			stage = s
+		}
+		return (binDepth(p) + nseg - 1) * stage
+	case "binomial":
+		// lg rounds; each relay both receives the message and forwards it
+		// from the same port.
+		return lg * (pr.Msg(m) + pr.slot(m))
+	case "knomial":
+		// Radix-4: fewer rounds, more serialized child sends per relay.
+		return logKCeil(p, 4)*pr.Msg(m) + float64(2*4-3)*pr.slot(m)
+	case "scatter_allgather":
+		if elemsOf(m) < p {
+			return pr.bcastCost("binomial", m) // coll falls back below p elements
+		}
+		// Binomial scatter of m/p shards + ring allgather of the shards.
+		shard := 2 * float64(m) * float64(p-1) / float64(p) * pr.Beta
+		return (2*lg+float64(p-1))*pr.Alpha + shard + pr.rendChunks(m/max(p, 1), p-1)
+	default:
+		return lg * (pr.Msg(m) + pr.slot(m))
+	}
+}
+
+func (pr Params) reduceCost(name string, m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	fm := float64(m)
+	seg := min(m, segBytes)
+	nseg := segCeil(m, segBytes)
+	segRed := float64(seg) * pr.Gamma
+	switch name {
+	case "linear":
+		// Root drains p−1 contributions and reduces each.
+		return pr.fan(p-1, m) + float64(p-1)*fm*pr.Gamma
+	case "chain":
+		stages := chainLen(p) + nseg - 1
+		return stages*(pr.Msg(seg)+pr.slot(seg)+segRed) + (nseg-1)*float64(chainFanout-2)*pr.slot(seg)
+	case "pipeline":
+		return (float64(p-1) + nseg - 1) * (pr.Msg(seg) + segRed)
+	case "binary":
+		stage := pr.Msg(seg)
+		if s := 2 * pr.slot(seg); s > stage {
+			stage = s
+		}
+		return (binDepth(p) + nseg - 1) * (stage + segRed)
+	case "in_order_binary":
+		// Binary with the in-order constraint: one extra forwarding slot
+		// per level (operands must be combined in rank order).
+		return pr.reduceCost("binary", m) + binDepth(p)*pr.slot(seg)
+	case "binomial":
+		// Children send concurrently; a relay's round is one hop plus its
+		// local reduction.
+		return lg * (pr.Msg(m) + fm*pr.Gamma)
+	case "rabenseifner":
+		if elemsOf(m) < p {
+			return pr.reduceCost("binomial", m) // coll falls back below p elements
+		}
+		return pr.halvingDoubling(m)
+	case "scatter_gather":
+		if elemsOf(m) < p {
+			return pr.reduceCost("binomial", m)
+		}
+		return pr.halvingDoubling(m) + fm*pr.CopyNs
+	case "arrival_linear":
+		// PAP-aware linear: same volume as linear plus arrival polling.
+		return pr.reduceCost("linear", m) + float64(p-1)*pr.OverheadNs
+	case "hierarchical_arrival":
+		return pr.twoLevelReduce(m, fm*pr.Gamma)
+	default:
+		return lg * (pr.Msg(m) + fm*pr.Gamma)
+	}
+}
+
+// halvingDoubling is the recursive-halving reduce-scatter + doubling
+// gather/allgather skeleton shared by the Rabenseifner-style algorithms:
+// 2·lg latency rounds, 2·shard bytes moved, shard bytes reduced, where
+// shard is the m·(p−1)/p slice every rank touches. The rendezvous step is
+// charged per round once the first (largest, m/2-byte) exchange crosses
+// the threshold.
+func (pr Params) halvingDoubling(m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	shard := 0.0
+	if p > 1 {
+		shard = float64(m) * float64(p-1) / float64(p)
+	}
+	return 2*lg*pr.Alpha + shard*(2*pr.Beta+pr.Gamma) + 2*pr.rendChunks(m/2, int(lg))
+}
+
+func (pr Params) allreduceCost(name string, m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	fm := float64(m)
+	count := elemsOf(m)
+	chunk := m / max(p, 1)
+	switch name {
+	case "basic_linear":
+		return pr.reduceCost("linear", m) + pr.bcastCost("linear", m)
+	case "nonoverlapping":
+		return pr.reduceCost("binomial", m) + pr.bcastCost("binomial", m)
+	case "recursive_doubling":
+		return lg * (pr.Msg(m) + fm*pr.Gamma)
+	case "ring":
+		if count < p {
+			return pr.allreduceCost("recursive_doubling", m) // coll degrades below p elements
+		}
+		return 2*float64(p-1)*pr.Msg(chunk) + float64(p-1)*float64(chunk)*pr.Gamma
+	case "segmented_ring":
+		if count < p {
+			return pr.allreduceCost("recursive_doubling", m)
+		}
+		ring := pr.allreduceCost("ring", m)
+		if chunk <= segRingBytes {
+			// Segments no smaller than chunks: identical schedule to ring.
+			return ring
+		}
+		// Segmentation overlaps part of the per-round start-up; the saving
+		// ramps in with the chunk size so the cost stays monotone in m.
+		save := float64(p-1) * (pr.Alpha + pr.RendNs) / 2
+		if ramp := float64(chunk-segRingBytes) * pr.Beta; ramp < save {
+			save = ramp
+		}
+		return ring - save
+	case "rabenseifner":
+		if count < p {
+			return pr.allreduceCost("recursive_doubling", m)
+		}
+		return pr.halvingDoubling(m)
+	case "two_level":
+		return pr.twoLevelAllreduce(m, fm*pr.Gamma)
+	case "arrival_redbcast":
+		return pr.reduceCost("arrival_linear", m) + pr.bcastCost("binomial", m)
+	default:
+		return lg * (pr.Msg(m) + fm*pr.Gamma)
+	}
+}
+
+func (pr Params) alltoallCost(name string, m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	fm := float64(m)
+	switch name {
+	case "basic_linear":
+		// Everything posted at once: one port draining p−1 messages each
+		// way (sends and receives overlap), plus the matching toll of the
+		// long posted queue.
+		return pr.fan(p-1, m) + float64(p-1)*float64(p-1)/2*pr.MatchNs
+	case "linear_sync":
+		// Windowed linear: one extra synchronization round-trip per peer.
+		return pr.alltoallCost("basic_linear", m) + float64(p-1)*pr.Alpha
+	case "pairwise":
+		// p−1 synchronized sendrecv exchange rounds (duplex overlaps).
+		return float64(p-1) * pr.Msg(m)
+	case "ring":
+		return float64(p-1)*pr.Msg(m) + 2*fm*pr.CopyNs
+	case "bruck":
+		// lg rounds moving ~p/2 aggregated blocks, plus pack/unpack.
+		return lg*pr.Msg(p/2*m) + 2*float64(p)*fm*pr.CopyNs
+	case "2dmesh":
+		r := sqrtCeil(p)
+		return 2*(r-1)*(pr.Alpha+r*fm*pr.Beta) + 2*float64(p)*fm*pr.CopyNs + pr.rendChunks(m, p)
+	case "3dmesh":
+		r := cbrtCeil(p)
+		return 3*(r-1)*(pr.Alpha+r*r*fm*pr.Beta) + 3*float64(p)*fm*pr.CopyNs + pr.rendChunks(m, p)
+	default:
+		return float64(p-1) * pr.Msg(m)
+	}
+}
+
+func (pr Params) allgatherCost(name string, m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	fm := float64(m)
+	switch name {
+	case "linear":
+		if m > pr.EagerBytes {
+			// Rendezvous with rank-ordered posts serializes globally: every
+			// handshake waits for its peer to drain its own queue, so the
+			// p(p−1) messages effectively go one at a time.
+			return float64(p) * float64(p-1) * (fm*pr.Beta + 2*pr.OverheadNs)
+		}
+		// Eager: each rank's port both sends and receives p−1 messages.
+		return pr.Alpha + 2*float64(p-1)*(2*pr.OverheadNs+fm*pr.Beta)
+	case "bruck":
+		return lg*pr.Alpha + float64(p-1)*fm*pr.Beta + float64(p)*fm*pr.CopyNs + pr.rendChunks(p/2*m, int(lg))
+	case "recursive_doubling":
+		// Doubling block sizes: lg rounds, (p−1)·m total bytes.
+		return lg*pr.Alpha + float64(p-1)*fm*pr.Beta + pr.rendChunks(p/2*m, int(lg))
+	case "ring":
+		return float64(p-1) * pr.Msg(m)
+	case "neighbor_exchange":
+		// p/2 rounds exchanging doubling 2m blocks between even/odd pairs.
+		return float64(max(p/2, 1))*pr.Alpha + float64(p-1)*fm*pr.Beta + pr.rendChunks(2*m, p/2)
+	default:
+		return lg*pr.Alpha + float64(p-1)*fm*pr.Beta
+	}
+}
+
+func (pr Params) gatherCost(name string, m int) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	fm := float64(m)
+	switch name {
+	case "linear":
+		return pr.fan(p-1, m)
+	case "binomial":
+		// lg rounds with doubling aggregated payloads: (p−1)·m total bytes
+		// on the root path, one send per relay per round (no extra fan
+		// slots). Rendezvous charges per round once the base message is
+		// past the threshold.
+		return lg*pr.Alpha + float64(p-1)*fm*pr.Beta + pr.rendChunks(m, int(lg))
+	default:
+		return lg*pr.Alpha + float64(p-1)*fm*pr.Beta
+	}
+}
+
+func (pr Params) barrierCost(name string) float64 {
+	p := pr.P
+	lg := log2Ceil(p)
+	switch name {
+	case "linear":
+		// Zero-byte fan-in + fan-out at the root port: latency pipelines,
+		// overhead serializes.
+		return 2*pr.Alpha + 2*float64(max(p-2, 0))*pr.OverheadNs
+	case "double_ring":
+		// Two full token trips around the ring.
+		return 2 * float64(p) * pr.Alpha
+	case "recursive_doubling", "dissemination":
+		return lg * pr.Alpha
+	case "tree":
+		// Binomial fan-in plus binomial fan-out.
+		return 2 * lg * pr.Alpha
+	default:
+		return 2 * lg * pr.Alpha
+	}
+}
+
+func (pr Params) reduceScatterCost(name string, m int) float64 {
+	// The reduce-scatter input vector is p·m bytes per rank; every rank
+	// keeps an m-byte slice (the grid's MsgBytes is the output size).
+	p := pr.P
+	lg := log2Ceil(p)
+	fm := float64(m)
+	total := m * p
+	switch name {
+	case "nonoverlapping":
+		// Binomial reduce of the whole p·m vector to rank 0, then binomial
+		// scatter of the slices (same shape as a binomial gather of m).
+		return pr.reduceCost("binomial", total) + pr.gatherCost("binomial", m)
+	case "recursive_halving":
+		if elemsOf(m) < p {
+			// Too little data to halve; recursive-doubling-shaped exchange
+			// of the full vector.
+			return lg * (pr.Msg(total) + float64(total)*pr.Gamma)
+		}
+		return lg*pr.Alpha + float64(p-1)*fm*(pr.Beta+pr.Gamma) + pr.rendChunks(total/2, int(lg))
+	case "ring":
+		return float64(p-1) * (pr.Msg(m) + fm*pr.Gamma)
+	default:
+		return lg*pr.Alpha + float64(p-1)*fm*(pr.Beta+pr.Gamma)
+	}
+}
+
+// rendChunks charges the rendezvous handshake for n messages of c bytes
+// each — used by the formulas written as aggregate α/β terms where Msg's
+// built-in step does not apply.
+func (pr Params) rendChunks(c, n int) float64 {
+	if n <= 0 || c <= pr.EagerBytes {
+		return 0
+	}
+	return float64(n) * pr.RendNs
+}
+
+// twoLevelReduce models a hierarchical reduce: binomial reduce inside each
+// node on the intra tier, then a cross-node binomial reduce on the inter
+// tier.
+func (pr Params) twoLevelReduce(m int, red float64) float64 {
+	c, n := pr.nodeSplit()
+	return log2Ceil(c)*(pr.msgIntra(m)+red) + log2Ceil(n)*(pr.msgInter(m)+red)
+}
+
+// twoLevelAllreduce is twoLevelReduce plus the downward intra-node bcast
+// and a cross-node recursive-doubling exchange.
+func (pr Params) twoLevelAllreduce(m int, red float64) float64 {
+	c, n := pr.nodeSplit()
+	return log2Ceil(c)*(pr.msgIntra(m)+red) +
+		log2Ceil(n)*(pr.msgInter(m)+red) +
+		log2Ceil(c)*pr.msgIntra(m)
+}
+
+// nodeSplit returns (ranks per node, nodes used) for the communicator,
+// inferred from the intra/inter blend: the split only matters when the
+// communicator spans nodes, and P <= one node collapses to (P, 1).
+func (pr Params) nodeSplit() (int, int) {
+	// BetaIntra == Beta exactly when the blend stayed pure intra (P fits in
+	// one node); otherwise recover the node capacity from the blend weight.
+	if pr.P <= 1 {
+		return max(pr.P, 1), 1
+	}
+	// The fraction fIntra = (c-1)/(P-1) was used in ParamsFor; invert it.
+	// Guard against the single-tier case (fIntra == 1).
+	if pr.Alpha == pr.AlphaIntra && pr.Beta == pr.BetaIntra {
+		return pr.P, 1
+	}
+	denom := pr.AlphaInter - pr.AlphaIntra
+	if denom == 0 {
+		return pr.P, 1
+	}
+	fIntra := (pr.AlphaInter - pr.Alpha) / denom
+	c := int(fIntra*float64(pr.P-1)) + 1
+	if c < 1 {
+		c = 1
+	}
+	if c > pr.P {
+		c = pr.P
+	}
+	return c, ceilDiv(pr.P, c)
+}
+
+// popcount is the binomial-tree distance of rank i from root 0.
+func popcount(i int) float64 { return float64(bits.OnesCount(uint(i))) }
+
+// recvRound is the binomial-bcast round in which rank i receives its data
+// (rank 0 is the root; higher bits arrive later).
+func recvRound(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return float64(bits.Len(uint(i)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

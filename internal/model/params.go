@@ -1,0 +1,194 @@
+package model
+
+import (
+	"math"
+
+	"collsel/internal/netmodel"
+)
+
+// Params is the closed-form cost-model parameterization of one
+// (platform, communicator size) pair: the Hockney/LogGP constants every
+// per-algorithm formula is written in. All times are nanoseconds.
+//
+// The parameters are derived, not fitted: they come straight from the
+// netmodel.Platform preset the simulation itself runs on, so the model and
+// the simulator share one source of truth. Link tiers are blended by the
+// block placement the simulator uses (rank r lives on node r/CoresPerNode):
+// with p ranks, the fraction of communicating pairs that stay intra-node is
+// (CoresPerNode-1)/(p-1), and the rest is split between the inter-node and
+// inter-group tiers by how many Dragonfly groups the communicator spans.
+type Params struct {
+	// P is the communicator size.
+	P int
+	// Alpha is the blended per-message start-up cost: one-way link latency
+	// plus send+receive CPU overhead (the Hockney α with LogGP's 2o folded
+	// in).
+	Alpha float64
+	// Beta is the blended transfer cost in ns per byte (Hockney β = 1/BW).
+	Beta float64
+	// AlphaIntra/BetaIntra and AlphaInter/BetaInter are the unblended
+	// intra-node and cross-node tiers, used by hierarchical (two-level)
+	// algorithms that explicitly split their phases.
+	AlphaIntra, BetaIntra float64
+	AlphaInter, BetaInter float64
+	// RendNs is the extra handshake cost a rendezvous message pays (the
+	// request/clear-to-send round trip before the payload moves).
+	RendNs float64
+	// EagerBytes is the protocol switch point: messages strictly larger
+	// pay RendNs and couple the sender to the receiver's arrival.
+	EagerBytes int
+	// Gamma is the reduction-operator cost in ns per byte.
+	Gamma float64
+	// CopyNs is the local memory-copy cost in ns per byte (pack/unpack).
+	CopyNs float64
+	// MatchNs is the receiver-side matching cost per posted-queue entry.
+	MatchNs float64
+	// OverheadNs is the bare per-message CPU overhead (one side).
+	OverheadNs float64
+}
+
+// ParamsFor derives the model parameters for p ranks of a platform.
+func ParamsFor(pl *netmodel.Platform, p int) Params {
+	if p < 1 {
+		p = 1
+	}
+	intra := effectiveLink(pl, pl.Intra)
+	inter := effectiveLink(pl, pl.Inter)
+	o := float64(pl.OverheadNs)
+
+	// Fraction of communicating pairs that stay on one node under block
+	// placement; 1 while the communicator fits in a single node.
+	fIntra := 1.0
+	if p > pl.CoresPerNode && p > 1 {
+		fIntra = float64(pl.CoresPerNode-1) / float64(p-1)
+	}
+
+	// Cross-node traffic splits between the inter-node and inter-group
+	// tiers by the number of groups the communicator spans.
+	interLat := float64(inter.LatencyNs)
+	interBeta := 1e9 / inter.BandwidthBps
+	if pl.GroupSize > 0 {
+		ig := effectiveLink(pl, pl.InterGroup)
+		nodesUsed := ceilDiv(p, pl.CoresPerNode)
+		groupsUsed := ceilDiv(nodesUsed, pl.GroupSize)
+		fCross := 0.0
+		if groupsUsed > 1 {
+			fCross = float64(groupsUsed-1) / float64(groupsUsed)
+		}
+		interLat = (1-fCross)*interLat + fCross*float64(ig.LatencyNs)
+		interBeta = (1-fCross)*interBeta + fCross*(1e9/ig.BandwidthBps)
+	}
+
+	intraLat := float64(intra.LatencyNs)
+	intraBeta := 1e9 / intra.BandwidthBps
+	lat := fIntra*intraLat + (1-fIntra)*interLat
+	beta := fIntra*intraBeta + (1-fIntra)*interBeta
+
+	return Params{
+		P:          p,
+		Alpha:      lat + 2*o,
+		Beta:       beta,
+		AlphaIntra: intraLat + 2*o,
+		BetaIntra:  intraBeta,
+		AlphaInter: interLat + 2*o,
+		BetaInter:  interBeta,
+		RendNs:     2 * lat,
+		EagerBytes: pl.EagerThresholdBytes,
+		Gamma:      pl.ReduceNsPerByte,
+		CopyNs:     pl.CopyNsPerByte,
+		MatchNs:    pl.MatchNsPerEntry,
+		OverheadNs: o,
+	}
+}
+
+// effectiveLink applies the platform's background-traffic bandwidth
+// reduction, mirroring netmodel.Platform.LinkFor.
+func effectiveLink(pl *netmodel.Platform, l netmodel.Link) netmodel.Link {
+	if pl.Noise.Enabled && pl.Noise.Background > 0 {
+		l.BandwidthBps *= 1 - pl.Noise.Background
+	}
+	return l
+}
+
+// Msg is the modeled cost of moving one m-byte point-to-point message:
+// α + mβ, plus the rendezvous handshake above the eager threshold.
+func (pr Params) Msg(m int) float64 {
+	c := pr.Alpha + float64(m)*pr.Beta
+	if m > pr.EagerBytes {
+		c += pr.RendNs
+	}
+	return c
+}
+
+// msgIntra/msgInter are Msg on an unblended tier (hierarchical phases).
+func (pr Params) msgIntra(m int) float64 {
+	c := pr.AlphaIntra + float64(m)*pr.BetaIntra
+	if m > pr.EagerBytes {
+		c += pr.RendNs
+	}
+	return c
+}
+
+func (pr Params) msgInter(m int) float64 {
+	c := pr.AlphaInter + float64(m)*pr.BetaInter
+	if m > pr.EagerBytes {
+		c += pr.RendNs
+	}
+	return c
+}
+
+// log2Ceil returns ceil(log2(p)) — the number of rounds of a binomial or
+// butterfly exchange over p ranks. Monotone non-decreasing in p.
+func log2Ceil(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	n, r := 1, 0
+	for n < p {
+		n *= 2
+		r++
+	}
+	return float64(r)
+}
+
+// logKCeil returns ceil(log_k(p)) for a k-nomial tree.
+func logKCeil(p, k int) float64 {
+	if p <= 1 || k < 2 {
+		return 0
+	}
+	n, r := 1, 0
+	for n < p {
+		n *= k
+		r++
+	}
+	return float64(r)
+}
+
+func ceilDiv(x, y int) int { return (x + y - 1) / y }
+
+// segCeil returns the number of segSize-byte segments of an m-byte buffer
+// (at least 1), the pipeline depth unit of the segmented tree algorithms.
+func segCeil(m, segSize int) float64 {
+	if m <= 0 || segSize <= 0 {
+		return 1
+	}
+	return float64(ceilDiv(m, segSize))
+}
+
+// sqrtCeil returns ceil(sqrt(p)); cbrtCeil returns ceil(cbrt(p)). Both are
+// monotone in p (used by the mesh alltoall decompositions).
+func sqrtCeil(p int) float64 {
+	r := int(math.Ceil(math.Sqrt(float64(p))))
+	for r > 1 && (r-1)*(r-1) >= p {
+		r--
+	}
+	return float64(r)
+}
+
+func cbrtCeil(p int) float64 {
+	r := int(math.Ceil(math.Cbrt(float64(p))))
+	for r > 1 && (r-1)*(r-1)*(r-1) >= p {
+		r--
+	}
+	return float64(r)
+}

@@ -1,0 +1,184 @@
+// Package model is the analytical tier of the selection system:
+// closed-form Hockney/LogGP-style cost functions for every registered
+// collective algorithm, parameterized from the same netmodel platform
+// presets the simulator runs on, plus a skew-correction term that models
+// the paper's arrival-pattern axis instead of ignoring it.
+//
+// The package answers the same question as expt.SelectRobustCtx — "which
+// algorithm is most robust for (platform, collective, procs, msgBytes)?" —
+// but in microseconds instead of tens of milliseconds, by evaluating
+// formulas instead of simulating schedules. It is used two ways:
+//
+//   - as the middle rung of the serving answer ladder: table hit →
+//     instant model estimate ("source":"model") → background simulation
+//     that refines the cell and promotes it into the hot table;
+//   - as a pruner: grid builds simulate only the model's top-K candidates
+//     per cell (expt.SelectSpec.PruneTopK / store.CompileConfig.PruneTopK).
+//
+// cmd/modelcheck validates the model against the simulator with a
+// per-collective Spearman rank-correlation floor, so model drift is
+// caught in CI rather than in production answers.
+//
+// Everything here is deterministic: a Spec maps to one Outcome, bit for
+// bit, across runs and hosts (the random arrival shape uses the same
+// seeded generator as the grid engine).
+package model
+
+import (
+	"fmt"
+
+	"collsel/internal/coll"
+	"collsel/internal/core"
+	"collsel/internal/netmodel"
+	"collsel/internal/pattern"
+)
+
+// Spec identifies one model-tier selection cell. It mirrors the fields of
+// expt.SelectSpec that the closed forms can honor; fault profiles and
+// rep counts have no analytical counterpart.
+type Spec struct {
+	Platform   *netmodel.Platform
+	Collective coll.Collective
+	// MsgBytes is the message size (per pair for Alltoall); required.
+	MsgBytes int
+	// Procs defaults to Platform.Size().
+	Procs int
+	// Factor scales the derived skew magnitude (0 means 1.0), matching
+	// expt's SkewAvgRuntime policy: max skew = Factor × mean no-delay cost
+	// over the candidate set.
+	Factor float64
+	// Seed drives the random arrival shape, matching the grid engine's
+	// pattern seed derivation (base + shape index).
+	Seed int64
+	// Algorithms overrides the candidate set; nil models the Table II
+	// algorithms of the collective (all registered ones when the
+	// collective has no Table II set).
+	Algorithms []coll.Algorithm
+}
+
+// Outcome is a model-tier selection result, shaped like the simulated
+// expt.SelectOutcome so callers can treat the tiers uniformly.
+type Outcome struct {
+	// Ranking lists the candidates, most robust first (smallest average
+	// row-normalized modeled runtime across no-delay + the eight shapes).
+	Ranking []core.Choice
+	// Conventional is the algorithm a synchronized benchmark would pick
+	// (fastest modeled no-delay cost).
+	Conventional coll.Algorithm
+	// Matrix is the modeled pattern × algorithm grid (ns).
+	Matrix *core.Matrix
+	// SkewNs is the derived maximum arrival skew the shapes were scaled to.
+	SkewNs int64
+}
+
+// Candidates returns the model's default candidate set for a collective:
+// its Table II algorithms, or every registered algorithm when the
+// collective has no Table II set. This mirrors expt.CandidateAlgorithms
+// (restated here because model must stay importable from expt).
+func Candidates(c coll.Collective) []coll.Algorithm {
+	algs := coll.TableII(c)
+	if len(algs) == 0 {
+		algs = coll.Algorithms(c)
+	}
+	return algs
+}
+
+// Select runs the paper's selection methodology on modeled costs: build
+// the no-delay + eight-artificial-shapes matrix from the closed forms,
+// rank by average row-normalized runtime, return the most robust first.
+func Select(spec Spec) (*Outcome, error) {
+	if spec.Platform == nil {
+		return nil, fmt.Errorf("model: nil platform")
+	}
+	if spec.MsgBytes <= 0 {
+		return nil, fmt.Errorf("model: MsgBytes must be positive, got %d", spec.MsgBytes)
+	}
+	p := spec.Procs
+	if p <= 0 {
+		p = spec.Platform.Size()
+	}
+	algs := spec.Algorithms
+	if len(algs) == 0 {
+		algs = Candidates(spec.Collective)
+	}
+	if len(algs) == 0 {
+		return nil, fmt.Errorf("model: no algorithms registered for %v", spec.Collective)
+	}
+	factor := spec.Factor
+	if factor == 0 {
+		factor = 1.0
+	}
+
+	pr := ParamsFor(spec.Platform, p)
+	t0 := make([]float64, len(algs))
+	var sum float64
+	for j, al := range algs {
+		t0[j] = BaseCost(pr, spec.Collective, al.Name, spec.MsgBytes)
+		sum += t0[j]
+	}
+	// SkewAvgRuntime: scale the shapes to factor × mean no-delay runtime.
+	skew := int64(factor * sum / float64(len(algs)))
+
+	shapes := pattern.ArtificialShapes()
+	patterns := make([]string, 0, len(shapes)+1)
+	patterns = append(patterns, pattern.NoDelay.String())
+	for _, sh := range shapes {
+		patterns = append(patterns, sh.String())
+	}
+
+	mtx := core.NewMatrix(spec.Collective, patterns, algs)
+	mtx.MsgBytes, mtx.Procs, mtx.Machine = spec.MsgBytes, p, spec.Platform.Name
+	for j := range algs {
+		mtx.Set(0, j, t0[j])
+	}
+	for si, sh := range shapes {
+		// Same pattern-seed derivation as the grid engine
+		// (runner.PatternSeed: base + shape index), so the random shape's
+		// delays match what the simulation tier would apply.
+		pat := pattern.Generate(sh, p, skew, spec.Seed+int64(si))
+		for j, al := range algs {
+			mtx.Set(si+1, j, SkewedCost(pr, spec.Collective, al.Name, spec.MsgBytes, t0[j], pat.DelaysNs))
+		}
+	}
+
+	ranking, err := mtx.SelectRobust()
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	conv, err := mtx.NoDelayChoice()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Ranking: ranking, Conventional: conv, Matrix: mtx, SkewNs: skew}, nil
+}
+
+// TopK returns the first k algorithms of the model's ranking, in the
+// *original candidate order* (not ranking order). Preserving candidate
+// order matters for pruning: expt's stable ranking breaks score ties by
+// candidate position, so a pruned sweep over a TopK subset reproduces the
+// dense sweep's choice whenever the dense winner survives the cut.
+// k <= 0 or k >= len(candidates) returns the candidates unchanged.
+func TopK(spec Spec, k int) ([]coll.Algorithm, error) {
+	algs := spec.Algorithms
+	if len(algs) == 0 {
+		algs = Candidates(spec.Collective)
+	}
+	if k <= 0 || k >= len(algs) {
+		return algs, nil
+	}
+	out, err := Select(spec)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool, k)
+	for _, ch := range out.Ranking[:k] {
+		keep[ch.Algorithm.Name] = true
+	}
+	pruned := make([]coll.Algorithm, 0, k)
+	for _, al := range algs {
+		if keep[al.Name] {
+			pruned = append(pruned, al)
+		}
+	}
+	return pruned, nil
+}

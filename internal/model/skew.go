@@ -1,0 +1,366 @@
+package model
+
+import (
+	"math/bits"
+
+	"collsel/internal/coll"
+)
+
+// residualNs returns, per rank, the modeled work (ns) that still lies
+// *after* that rank joins the collective — the skew-correction kernel of
+// the model. With per-rank arrival delays d and residuals R, the modeled
+// skewed runtime is
+//
+//	d̂ = max_i(d[i] + R[i]) − max_i(d[i])
+//
+// i.e. a late rank stretches the collective by however much of the
+// schedule still depends on it. The rules are calibrated against the
+// simulator's transport and fall into a handful of archetypes:
+//
+//   - Eager traffic is buffered: a sender fires and forgets, so a late
+//     *receiver* finds its messages already waiting and the schedule
+//     absorbs the skew almost completely (residuals collapse to a single
+//     port slot, plus any reduction compute that cannot start early).
+//   - Rendezvous traffic couples senders to receivers: a late rank stalls
+//     its peers, and in the round-structured exchanges (butterflies,
+//     rings, bruck) the stall compounds across rounds — the measured
+//     rows run a constant *multiple* of the no-delay cost, captured here
+//     as per-family stall factors (1.8 for butterflies, 1.45 for
+//     bruck/halving-doubling, 1.1 for rings and pairwise).
+//   - Leaves-to-root trees (reduce, gather): a contribution still has to
+//     climb to the root, so the residual is the rank's remaining hop
+//     distance as a fraction of the critical path.
+//   - Root-to-leaves trees (bcast, scatter): the root carries the whole
+//     schedule; a late interior rank only re-pays the part of the
+//     schedule below it.
+//   - Arrival-aware (papaware) schedules absorb non-root skew by design.
+//
+// At least one rank always carries the full path (R = t0), so the
+// no-delay row reproduces t0 and the skewed rows never collapse to zero.
+func residualNs(pr Params, c coll.Collective, name string, m int, t0 float64) []float64 {
+	p := pr.P
+	res := make([]float64, p)
+	if p <= 1 {
+		if p == 1 {
+			res[0] = t0
+		}
+		return res
+	}
+	fm := float64(m)
+	lg := log2Ceil(p)
+	rend := m > pr.EagerBytes
+	slot := pr.slot(m)
+
+	uniform := func(v float64) {
+		for i := range res {
+			res[i] = v
+		}
+	}
+	// coupled models the round-structured exchanges: full inheritance of
+	// the skew in eager mode, a compounding stall in rendezvous mode.
+	// x is the per-round wire size that decides the rendezvous regime.
+	coupled := func(stall float64, x int) {
+		if x > pr.EagerBytes {
+			uniform(stall * t0)
+		} else {
+			uniform(t0)
+		}
+	}
+
+	binRounds := log2Ceil(p + 1)
+	binDist := func(i int) float64 { return float64(bits.Len(uint(i+1)) - 1) }
+	chainRounds := chainLen(p)
+	chainPos := func(i int) float64 { return float64(ceilDiv(i, chainFanout)) }
+
+	// fanOut fills a root-to-leaves schedule from the fraction of rounds
+	// below each rank; eager leaves keep only a port slot. Scatter relays
+	// carry payload for their whole subtree, so in rendezvous mode a late
+	// relay pulls half the forfeited path back onto the schedule (bcast
+	// relays forward an already-buffered message and stay absorbed).
+	fanOut := func(frac func(i int) float64) {
+		res[0] = t0
+		for i := 1; i < p; i++ {
+			f := frac(i)
+			if c == coll.Scatter && rend {
+				f = 0.5 + 0.5*f
+			}
+			r := f * t0
+			if r < slot {
+				r = slot
+			}
+			res[i] = r
+		}
+	}
+	// fanIn fills a leaves-to-root schedule from each rank's remaining
+	// climb; the root's own residual is the tail it cannot start early
+	// (compute only when eager, most of the path when rendezvous).
+	fanIn := func(frac func(i int) float64, rootEager float64) {
+		if rend {
+			res[0] = 0.85 * t0
+		} else {
+			res[0] = rootEager
+		}
+		for i := 1; i < p; i++ {
+			r := frac(i) * t0
+			if r < slot {
+				r = slot
+			}
+			res[i] = r
+		}
+	}
+
+	switch c {
+	case coll.Bcast, coll.Scatter:
+		switch name {
+		case "linear":
+			res[0] = t0
+			for i := 1; i < p; i++ {
+				if rend {
+					// The root blocks on each handshake in rank order: a late
+					// rank i still has the p−i sends from i onward ahead of it.
+					r := float64(p-i) * pr.Msg(m)
+					if r > t0 {
+						r = t0
+					}
+					res[i] = r
+				} else {
+					res[i] = slot
+				}
+			}
+		case "binary":
+			fanOut(func(i int) float64 { return (binRounds - binDist(i)) / binRounds })
+		case "chain":
+			fanOut(func(i int) float64 { return (chainRounds - chainPos(i)) / chainRounds })
+		case "pipeline":
+			fanOut(func(i int) float64 { return float64(p-1-i) / float64(p-1) })
+		default: // binomial, knomial, scatter_allgather, future trees
+			fanOut(func(i int) float64 { return (lg - recvRound(i)) / lg })
+		}
+
+	case coll.Reduce, coll.Gather:
+		gamma := 0.0
+		if c == coll.Reduce {
+			gamma = pr.Gamma
+		}
+		switch name {
+		case "linear":
+			// Eager contributions are buffered; only the root's serial
+			// reductions (and, rendezvous, the drain order) survive skew.
+			if rend {
+				res[0] = 0.85 * t0
+				for i := 1; i < p; i++ {
+					r := float64(p-i) * (pr.Msg(m) + fm*gamma)
+					if r > t0 {
+						r = t0
+					}
+					res[i] = r
+				}
+			} else {
+				res[0] = float64(p-1)*fm*gamma + slot
+				for i := 1; i < p; i++ {
+					res[i] = slot + float64(p-i)*fm*gamma
+				}
+			}
+		case "rabenseifner", "scatter_gather":
+			if elemsOf(m) >= p {
+				coupled(1.45, m/2)
+				break
+			}
+			// Fell back to the binomial tree below p elements.
+			fanIn(func(i int) float64 { return popcount(i) / lg }, lg*fm*gamma+slot)
+		case "binary":
+			fanIn(func(i int) float64 { return (binRounds - binDist(i)) / binRounds }, binRounds*fm*gamma+slot)
+		case "in_order_binary":
+			// In-order trees root at the highest rank; mirror the index.
+			tmp := make([]float64, p)
+			copy(tmp, res)
+			fanIn(func(i int) float64 { return (binRounds - binDist(p-1-i)) / binRounds }, binRounds*fm*gamma+slot)
+			for i, j := 0, p-1; i < j; i, j = i+1, j-1 {
+				res[i], res[j] = res[j], res[i]
+			}
+		case "chain":
+			fanIn(func(i int) float64 { return chainPos(i) / chainRounds }, chainRounds*fm*gamma+slot)
+		case "pipeline":
+			fanIn(func(i int) float64 { return float64(i) / float64(p-1) }, fm*gamma+slot)
+		case "arrival_linear", "hierarchical_arrival":
+			// Arrival-order schedules absorb non-root skew by design.
+			if rend {
+				res[0] = 0.85 * t0
+			} else {
+				res[0] = float64(p-1)*fm*gamma + slot
+			}
+			for i := 1; i < p; i++ {
+				res[i] = slot + fm*gamma
+			}
+		default: // binomial and future trees
+			fanIn(func(i int) float64 { return popcount(i) / lg }, lg*fm*gamma+slot)
+		}
+
+	case coll.Allreduce:
+		switch name {
+		case "basic_linear", "nonoverlapping", "arrival_redbcast":
+			// Reduce-to-root then bcast: a late contribution delays the
+			// root and therefore gates the *entire* bcast half, so every
+			// rank's residual is its reduce climb plus the full bcast.
+			redName, bcName := "linear", "linear"
+			switch name {
+			case "nonoverlapping":
+				redName, bcName = "binomial", "binomial"
+			case "arrival_redbcast":
+				redName, bcName = "arrival_linear", "binomial"
+			}
+			redT0 := pr.reduceCost(redName, m)
+			bc := pr.bcastCost(bcName, m)
+			redRes := residualNs(pr, coll.Reduce, redName, m, redT0)
+			for i := 0; i < p; i++ {
+				r := redRes[i] + bc
+				if r > t0 {
+					r = t0
+				}
+				res[i] = r
+			}
+		case "ring":
+			if elemsOf(m) < p {
+				coupled(1.8, m) // degraded to recursive doubling
+				break
+			}
+			coupled(1.1, m/p)
+		case "segmented_ring":
+			if elemsOf(m) < p {
+				coupled(1.8, m)
+				break
+			}
+			coupled(1.1, min(m/p, segRingBytes))
+		case "rabenseifner":
+			if elemsOf(m) < p {
+				coupled(1.8, m)
+				break
+			}
+			coupled(1.45, m/2)
+		case "two_level":
+			// Intra-node reduce absorbs same-node stragglers a little; the
+			// cross-node exchange is fully coupled.
+			c0, _ := pr.nodeSplit()
+			for i := range res {
+				if i%max(c0, 1) == 0 {
+					res[i] = t0 // node leaders carry the inter phase
+				} else {
+					res[i] = 0.8 * t0
+				}
+			}
+		default: // recursive_doubling and future butterflies
+			coupled(1.8, m)
+		}
+
+	case coll.Alltoall, coll.Alltoallv:
+		switch name {
+		case "pairwise", "ring":
+			// Full-m exchanges every round: the rendezvous stall compounds
+			// harder than in the chunked allreduce rings.
+			coupled(1.4, m)
+		case "bruck":
+			coupled(1.45, p/2*m)
+		default: // basic_linear, linear_sync, meshes
+			coupled(1.3, m)
+		}
+
+	case coll.Allgather:
+		switch name {
+		case "linear":
+			if rend {
+				uniform(0.95 * t0)
+			} else {
+				uniform(0.7 * t0)
+			}
+		case "ring":
+			coupled(1.1, m)
+		case "bruck":
+			coupled(1.45, p/2*m)
+		case "neighbor_exchange":
+			coupled(1.8, 2*m)
+		default: // recursive_doubling and future butterflies
+			coupled(1.8, p/2*m)
+		}
+
+	case coll.Barrier:
+		switch name {
+		case "linear":
+			res[0] = 0.5 * t0
+			for i := 1; i < p; i++ {
+				res[i] = 0.5 * t0 * (1 + float64(p-i)/float64(p-1))
+			}
+		case "double_ring":
+			res[0] = t0
+			for i := 1; i < p; i++ {
+				res[i] = t0 * float64(2*p-i) / float64(2*p)
+			}
+		case "tree":
+			res[0] = 0.5 * t0
+			for i := 1; i < p; i++ {
+				res[i] = 0.5 * t0 * (1 + popcount(i)/lg)
+			}
+		default: // recursive_doubling, dissemination
+			uniform(t0)
+		}
+
+	case coll.ReduceScatter:
+		total := m * p
+		switch name {
+		case "ring":
+			coupled(1.1, m)
+		case "recursive_halving":
+			coupled(1.8, total/2)
+		case "nonoverlapping":
+			// Binomial reduce of the p·m vector, then the scatter half gates
+			// on the root exactly like the allreduce composites.
+			redT0 := pr.reduceCost("binomial", total)
+			sc := pr.gatherCost("binomial", m)
+			redRes := residualNs(pr, coll.Reduce, "binomial", total, redT0)
+			for i := 0; i < p; i++ {
+				r := redRes[i] + sc
+				if r > t0 {
+					r = t0
+				}
+				res[i] = r
+			}
+		default:
+			coupled(1.8, total/2)
+		}
+
+	default:
+		uniform(t0)
+	}
+	return res
+}
+
+// SkewedCost applies the skew correction: the modeled d̂ of one algorithm
+// under per-rank arrival delays (ns), given its no-delay cost t0.
+// delays may be shorter than p ranks only if empty (treated as no delay).
+func SkewedCost(pr Params, c coll.Collective, name string, m int, t0 float64, delaysNs []int64) float64 {
+	if len(delaysNs) == 0 {
+		return t0
+	}
+	res := residualNs(pr, c, name, m, t0)
+	var maxArrive, maxExit float64
+	for i, d := range delaysNs {
+		fd := float64(d)
+		if fd > maxArrive {
+			maxArrive = fd
+		}
+		r := 0.0
+		if i < len(res) {
+			r = res[i]
+		}
+		if e := fd + r; e > maxExit {
+			maxExit = e
+		}
+	}
+	d := maxExit - maxArrive
+	// Positive floor: the last arrival still costs one port slot before
+	// anyone observes it (mirrors the measurement floor in the grid
+	// engine, which clamps absorbed cells to a positive epsilon).
+	if min := pr.slot(m); d < min {
+		d = min
+	}
+	return d
+}

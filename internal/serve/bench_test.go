@@ -99,6 +99,26 @@ func BenchmarkServeHotDuringReload(b *testing.B) {
 	<-done
 }
 
+// BenchmarkModelSelect measures the model tier's cold-miss answer: the
+// full analytical selection (every candidate algorithm under the nine
+// arrival patterns) for a cell the table does not cover. The acceptance
+// bar is < 100µs per answer — the whole point of the middle rung is that
+// a miss costs microseconds instead of queueing behind the simulation
+// pool (compare BenchmarkColdSelectCtx).
+func BenchmarkModelSelect(b *testing.B) {
+	tb := compileTiny(b, 1)
+	s, err := New(Config{Handle: store.NewHandle(tb), ModelTier: true, ColdDisabled: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.modelAnswer(tb, coll.Alltoall, 8, 64); !ok {
+			b.Fatal("model answer refused")
+		}
+	}
+}
+
 func drain(resp *http.Response) {
 	buf := make([]byte, 512)
 	for {

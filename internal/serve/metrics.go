@@ -27,6 +27,21 @@ type metrics struct {
 	coalesced     atomic.Int64 // requests that waited on an in-flight twin
 	inflightCold  atomic.Int64 // cold selections currently executing
 
+	// sources counts served /select answers by response source, indexed
+	// like sourceNames; modelPromotions counts background refinements that
+	// made it into the serving table.
+	sources         [len(sourceNames)]atomic.Int64
+	modelPromotions atomic.Int64
+
+	// Coverage accounting: every well-formed /select query against a
+	// loaded table widens the observed (procs, msg_bytes) range, whether
+	// or not the table covered it. Min slots use 0 as "unset".
+	selectQueries atomic.Int64
+	qProcsMin     atomic.Int64
+	qProcsMax     atomic.Int64
+	qMsgMin       atomic.Int64
+	qMsgMax       atomic.Int64
+
 	// Overload and degradation accounting.
 	shed             atomic.Int64 // cold requests refused with 429 (queue full)
 	deadlineExceeded atomic.Int64 // selections that hit the per-request deadline
@@ -46,6 +61,70 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{requests: map[[2]string]*atomic.Int64{}}
+}
+
+// sourceNames is the fixed label set of collseld_select_source_total, in
+// render order. Every fillFromCell site maps to exactly one of these.
+var sourceNames = [...]string{"cold_cache", "computed", "model", "nearest-degraded", "table"}
+
+func (m *metrics) countSource(source string) {
+	for i, n := range sourceNames {
+		if n == source {
+			m.sources[i].Add(1)
+			return
+		}
+	}
+}
+
+// recordQuery folds one /select query into the coverage accounting.
+func (m *metrics) recordQuery(procs, msgBytes int) {
+	m.selectQueries.Add(1)
+	atomicMin(&m.qProcsMin, int64(procs))
+	atomicMax(&m.qProcsMax, int64(procs))
+	atomicMin(&m.qMsgMin, int64(msgBytes))
+	atomicMax(&m.qMsgMax, int64(msgBytes))
+}
+
+// atomicMin lowers slot to v, treating 0 as unset (queries are positive).
+func atomicMin(slot *atomic.Int64, v int64) {
+	for {
+		old := slot.Load()
+		if old != 0 && old <= v {
+			return
+		}
+		if slot.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(slot *atomic.Int64, v int64) {
+	for {
+		old := slot.Load()
+		if old >= v {
+			return
+		}
+		if slot.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// coverage snapshots the table-coverage view /healthz reports.
+func (m *metrics) coverage(cells int) *Coverage {
+	cov := &Coverage{
+		TableCells:         cells,
+		Queries:            m.selectQueries.Load(),
+		TableHits:          m.tableHits.Load(),
+		QueriedProcsMin:    int(m.qProcsMin.Load()),
+		QueriedProcsMax:    int(m.qProcsMax.Load()),
+		QueriedMsgBytesMin: int(m.qMsgMin.Load()),
+		QueriedMsgBytesMax: int(m.qMsgMax.Load()),
+	}
+	if cov.Queries > 0 {
+		cov.HitRate = float64(cov.TableHits) / float64(cov.Queries)
+	}
+	return cov
 }
 
 func (m *metrics) countRequest(endpoint string, code int) {
@@ -131,6 +210,13 @@ func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, a
 	counter("collseld_client_cancel_total", "Select requests abandoned by the client (499).", m.clientCancels.Load())
 	counter("collseld_negative_cache_hits_total", "Cold queries answered from a cached failure.", m.negativeHits.Load())
 	counter("collseld_degraded_answers_total", "Nearest-cell answers served while the circuit breaker was open.", m.degradedAnswers.Load())
+	counter("collseld_model_promotions_total", "Model-tier background refinements promoted into the serving table.", m.modelPromotions.Load())
+
+	fmt.Fprintf(b, "# HELP collseld_select_source_total Served select answers by response source.\n")
+	fmt.Fprintf(b, "# TYPE collseld_select_source_total counter\n")
+	for i, name := range sourceNames {
+		fmt.Fprintf(b, "collseld_select_source_total{source=%q} %d\n", name, m.sources[i].Load())
+	}
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"collsel/internal/coll"
+	"collsel/internal/model"
+	"collsel/internal/store"
+)
+
+// The model tier is the middle rung of the answer ladder: a /select query
+// the table does not cover is answered instantly from the analytical cost
+// model (source "model", microseconds, never queued behind the simulation
+// pool) while a background refinement runs the real simulation for the
+// same cell and promotes the result into the hot table. The next query for
+// the cell is a plain table hit; the model answer was only ever a bridge.
+//
+// The refinement reuses the cold path's machinery unchanged — admission
+// pool, circuit breaker, cold cache — so model-triggered background work
+// competes for the same bounded resources as foreground cold selections
+// and can never saturate the process. When the pool sheds or the breaker
+// is open the refinement is simply dropped; the client already has its
+// model answer, and a later query retriggers it.
+
+// modelAnswer computes the analytical-model estimate for an uncovered
+// cell under the table's provenance (machine, skew factor, seed). It
+// refuses — sending the request down the ladder — when the table's
+// machine is not a resolvable preset, has drifted from the compiled
+// fingerprint, or cannot hold the requested communicator.
+func (s *Server) modelAnswer(t *store.Table, c coll.Collective, procs, msgBytes int) (store.Cell, bool) {
+	pl, fp, ok := presetFor(t.Machine)
+	if !ok || fp != t.PlatformFingerprint || procs > pl.Size() {
+		return store.Cell{}, false
+	}
+	out, err := model.Select(model.Spec{
+		Platform:   pl,
+		Collective: c,
+		MsgBytes:   msgBytes,
+		Procs:      procs,
+		Factor:     t.Factor,
+		Seed:       t.Seed,
+	})
+	if err != nil || len(out.Ranking) == 0 {
+		return store.Cell{}, false
+	}
+	cell := store.Cell{
+		MsgBytes:     msgBytes,
+		Winner:       store.Ref(out.Ranking[0].Algorithm),
+		Score:        out.Ranking[0].Score,
+		Conventional: store.Ref(out.Conventional),
+	}
+	if len(out.Ranking) > 1 {
+		cell.RunnerUp = store.Ref(out.Ranking[1].Algorithm)
+		if out.Ranking[0].Score > 0 {
+			cell.Margin = out.Ranking[1].Score/out.Ranking[0].Score - 1
+		}
+	}
+	return cell, true
+}
+
+// refineAsync starts the background simulation that upgrades a model
+// answer: the cell is computed exactly as the cold path would, cached,
+// then promoted into the serving table with a CompareAndSwap against the
+// snapshot the model answered under — losing the race to a concurrent
+// /reload (or another promotion) drops this promotion rather than
+// clobbering a newer table. At most one refinement per query key is in
+// flight.
+func (s *Server) refineAsync(t *store.Table, c coll.Collective, procs, msgBytes int, key string) {
+	s.refineMu.Lock()
+	if s.refining[key] {
+		s.refineMu.Unlock()
+		return
+	}
+	s.refining[key] = true
+	s.refineMu.Unlock()
+
+	s.refineWG.Add(1)
+	//collsel:goroutine bounded by the refining-key dedup map and joined by WaitBackground; admission below borrows a cold worker slot
+	go func() {
+		defer s.refineWG.Done()
+		defer func() {
+			s.refineMu.Lock()
+			delete(s.refining, key)
+			s.refineMu.Unlock()
+		}()
+		//collsel:ctx intentional detachment: the refinement outlives the request that triggered it; its own deadline is applied below
+		ctx := context.Background()
+		if s.cfg.SelectTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.SelectTimeout)
+			defer cancel()
+		}
+		release, err := s.cold.acquire(ctx)
+		if err != nil {
+			return // shed: the model answer already went out, a later query retries
+		}
+		defer release()
+		if !s.breaker.allow() {
+			return
+		}
+		s.metrics.inflightCold.Add(1)
+		defer s.metrics.inflightCold.Add(-1)
+		s.metrics.coldComputes.Add(1)
+		s.logf("model refine: %s %d procs %d B (table %s)", c, procs, msgBytes, t.Version)
+		began := time.Now()
+		cell, err := s.cfg.Cold(ctx, t, c, procs, msgBytes)
+		s.breaker.record(time.Since(began), err)
+		if err != nil {
+			if !isTransient(err) {
+				s.coldStore(key, coldEntry{errMsg: err.Error(), retries: s.cfg.NegativeRetries})
+			}
+			return
+		}
+		s.coldStore(key, coldEntry{cell: cell})
+		promoted, err := store.WithCell(t, c, procs, cell)
+		if err != nil {
+			return
+		}
+		if s.handle.CompareAndSwap(t, promoted) {
+			s.metrics.modelPromotions.Add(1)
+			s.logf("model refine: promoted %s %d procs %d B into table %s -> %s",
+				c, procs, msgBytes, t.Version, promoted.Version)
+		}
+	}()
+}
+
+// WaitBackground blocks until every in-flight background refinement has
+// finished. Tests and orderly shutdown use it; the serving path never
+// waits on it.
+func (s *Server) WaitBackground() { s.refineWG.Wait() }

@@ -122,7 +122,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	switch err := s.feedback.Offer(recs); {
 	case errors.Is(err, feedback.ErrBusy):
 		s.metrics.observeShed.Add(1)
-		s.retryAfter(w)
+		s.observeRetryAfter(w)
 		s.httpError(w, "observe", http.StatusTooManyRequests, "observation buffer full, retry later")
 	case errors.Is(err, feedback.ErrClosed):
 		s.httpError(w, "observe", http.StatusServiceUnavailable, "feedback pipeline shut down")

@@ -127,6 +127,18 @@ type Config struct {
 	Breaker BreakerConfig
 	// RetryAfter is the hint stamped on 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// ObserveRetryAfter is the Retry-After hint stamped specifically on
+	// /observe 429 responses (default: RetryAfter). Observation producers
+	// batch and tolerate long delays, so operators typically set this much
+	// higher than the /select hint to spread re-offered batches out.
+	ObserveRetryAfter time.Duration
+	// ModelTier enables the analytical-model middle rung of the answer
+	// ladder: uncovered queries are answered instantly from the closed-form
+	// cost model (source "model") while a background simulation refines the
+	// cell and promotes it into the hot table. Disabled by default — the
+	// model must have been validated for the table's machine
+	// (cmd/modelcheck) before its estimates are trusted in production.
+	ModelTier bool
 	// Feedback, when non-nil, enables the /observe endpoint and the
 	// closed-loop autotuner behind it; nil serves 404 on /observe. The
 	// pipeline's lifecycle (Start/Close) belongs to the caller.
@@ -155,7 +167,12 @@ type Server struct {
 	coldMu    sync.Mutex
 	coldCache map[string]coldEntry
 	coldOrder []string
-	started   time.Time
+	// refining dedups in-flight background refinements by query key;
+	// refineWG lets WaitBackground (tests, orderly shutdown) join them.
+	refineMu sync.Mutex
+	refining map[string]bool
+	refineWG sync.WaitGroup
+	started  time.Time
 }
 
 // coldEntry is one cold-cache slot: a computed cell, or (errMsg non-empty)
@@ -193,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.ObserveRetryAfter <= 0 {
+		cfg.ObserveRetryAfter = cfg.RetryAfter
+	}
 	s := &Server{
 		cfg:      cfg,
 		handle:   cfg.Handle,
@@ -201,6 +221,7 @@ func New(cfg Config) (*Server, error) {
 		feedback: cfg.Feedback,
 		cold:     newAdmission(cfg.ColdWorkers, int64(cfg.ColdQueue)),
 		breaker:  newBreaker(cfg.Breaker, nil),
+		refining: map[string]bool{},
 		started:  time.Now(),
 	}
 	if cfg.ColdCacheCap > 0 {
@@ -336,32 +357,55 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		MsgBytes:     req.MsgBytes,
 		TableVersion: t.Version,
 	}
+	s.metrics.recordQuery(req.Procs, req.MsgBytes)
 	if lk, ok := t.Get(c, req.Procs, req.MsgBytes); ok {
 		s.metrics.tableHits.Add(1)
+		s.metrics.countSource("table")
 		fillFromCell(&resp, lk.Cell, "table", lk.Exact)
 		s.metrics.latency.observe(time.Since(start).Seconds())
 		s.writeJSON(w, "select", http.StatusOK, resp)
 		return
 	}
 	s.metrics.tableMisses.Add(1)
-	if s.cfg.ColdDisabled {
-		s.httpError(w, "select", http.StatusNotFound, "not covered by table %s (cold path disabled)", t.Version)
-		return
-	}
 
 	key := fmt.Sprintf("%s|%s|%d|%d", t.Version, c, req.Procs, req.MsgBytes)
-	entry, verdict := s.coldConsult(key)
-	switch verdict {
-	case coldHitPositive:
-		s.metrics.coldCacheHits.Add(1)
-		fillFromCell(&resp, entry.cell, "cold_cache", true)
-		s.metrics.latency.observe(time.Since(start).Seconds())
-		s.writeJSON(w, "select", http.StatusOK, resp)
-		return
-	case coldHitNegative:
-		s.metrics.negativeHits.Add(1)
-		s.httpError(w, "select", http.StatusInternalServerError,
-			"cold selection failed (cached, retry budget exhausted): %s", entry.errMsg)
+	if !s.cfg.ColdDisabled {
+		entry, verdict := s.coldConsult(key)
+		switch verdict {
+		case coldHitPositive:
+			s.metrics.coldCacheHits.Add(1)
+			s.metrics.countSource("cold_cache")
+			fillFromCell(&resp, entry.cell, "cold_cache", true)
+			s.metrics.latency.observe(time.Since(start).Seconds())
+			s.writeJSON(w, "select", http.StatusOK, resp)
+			return
+		case coldHitNegative:
+			s.metrics.negativeHits.Add(1)
+			s.httpError(w, "select", http.StatusInternalServerError,
+				"cold selection failed (cached, retry budget exhausted): %s", entry.errMsg)
+			return
+		}
+	}
+
+	// Model tier: answer the miss instantly from the analytical cost model
+	// and let a background simulation refine the cell into the table. The
+	// response never waits on the worker pool — the whole point of the
+	// middle rung is that a cold miss costs microseconds, not seconds.
+	if s.cfg.ModelTier {
+		if cell, ok := s.modelAnswer(t, c, req.Procs, req.MsgBytes); ok {
+			s.metrics.countSource("model")
+			fillFromCell(&resp, cell, "model", false)
+			if !s.cfg.ColdDisabled {
+				s.refineAsync(t, c, req.Procs, req.MsgBytes, key)
+			}
+			s.metrics.latency.observe(time.Since(start).Seconds())
+			s.writeJSON(w, "select", http.StatusOK, resp)
+			return
+		}
+	}
+
+	if s.cfg.ColdDisabled {
+		s.httpError(w, "select", http.StatusNotFound, "not covered by table %s (cold path disabled)", t.Version)
 		return
 	}
 
@@ -419,6 +463,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.writeSelectError(w, r, t, c, &resp, err)
 		return
 	}
+	s.metrics.countSource("computed")
 	fillFromCell(&resp, cell, "computed", true)
 	s.metrics.latency.observe(time.Since(start).Seconds())
 	s.writeJSON(w, "select", http.StatusOK, resp)
@@ -440,6 +485,18 @@ func (s *Server) retryAfter(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
+// observeRetryAfter stamps the /observe-specific Retry-After hint, which
+// is configured independently of the /select one: shed observation
+// batches should back off on the producers' timescale, not the query
+// clients'.
+func (s *Server) observeRetryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.ObserveRetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 // writeSelectError maps a cold-path failure to the response the degradation
 // ladder prescribes: breaker-open requests get the nearest covered cell
 // (200, source "nearest-degraded") or 503 when the table has nothing close;
@@ -451,6 +508,7 @@ func (s *Server) writeSelectError(w http.ResponseWriter, r *http.Request, t *sto
 	case errors.Is(err, errBreakerOpen):
 		if lk, ok := t.Nearest(c, resp.Procs, resp.MsgBytes); ok {
 			s.metrics.degradedAnswers.Add(1)
+			s.metrics.countSource("nearest-degraded")
 			fillFromCell(resp, lk.Cell, "nearest-degraded", false)
 			resp.AnsweredProcs = lk.Procs
 			resp.AnsweredMsgBytes = lk.MsgBytes
@@ -554,14 +612,34 @@ func (s *Server) coldStore(key string, e coldEntry) {
 // answered, some at reduced quality), "draining" (SIGTERM received) or
 // "no table".
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	Breaker       string  `json:"breaker"`
-	Draining      bool    `json:"draining,omitempty"`
-	TableVersion  string  `json:"table_version,omitempty"`
-	TableAgeSec   float64 `json:"table_age_seconds,omitempty"`
-	TableCells    int     `json:"table_cells,omitempty"`
-	Machine       string  `json:"machine,omitempty"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string    `json:"status"`
+	Breaker       string    `json:"breaker"`
+	Draining      bool      `json:"draining,omitempty"`
+	TableVersion  string    `json:"table_version,omitempty"`
+	TableAgeSec   float64   `json:"table_age_seconds,omitempty"`
+	TableCells    int       `json:"table_cells,omitempty"`
+	Machine       string    `json:"machine,omitempty"`
+	Coverage      *Coverage `json:"coverage,omitempty"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// Coverage relates the loaded table to the traffic it actually receives:
+// how many cells it holds, how often queries land in them, and the range
+// of (procs, msg_bytes) coordinates clients have asked about since the
+// process started. A low hit rate or a queried range far outside the
+// compiled one tells the operator the compile grid no longer matches the
+// workload.
+type Coverage struct {
+	TableCells int   `json:"table_cells"`
+	Queries    int64 `json:"queries"`
+	TableHits  int64 `json:"table_hits"`
+	// HitRate is TableHits/Queries (0 when no queries were seen).
+	HitRate float64 `json:"hit_rate"`
+	// Queried ranges are omitted until the first /select query arrives.
+	QueriedProcsMin    int `json:"queried_procs_min,omitempty"`
+	QueriedProcsMax    int `json:"queried_procs_max,omitempty"`
+	QueriedMsgBytesMin int `json:"queried_msg_bytes_min,omitempty"`
+	QueriedMsgBytesMax int `json:"queried_msg_bytes_max,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -578,6 +656,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.TableAgeSec = s.handle.AgeSeconds()
 		resp.TableCells = t.Cells()
 		resp.Machine = t.Machine
+		resp.Coverage = s.metrics.coverage(t.Cells())
 	}
 	s.writeJSON(w, "healthz", code, resp)
 }

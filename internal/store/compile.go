@@ -38,6 +38,13 @@ type CompileConfig struct {
 	// (done, total) measured cells over the whole compilation.
 	Runner   *runner.Engine
 	Progress func(done, total int)
+	// PruneTopK, when positive, lets the analytical model tier pre-rank
+	// every cell's candidate set and simulates only the top K algorithms
+	// (model-guided grid pruning; see expt.SelectSpec.PruneTopK). 0 runs
+	// the full dense sweep. The value is recorded in the artifact's
+	// provenance: a pruned table's cells are reproduced by live selections
+	// carrying the same PruneTopK.
+	PruneTopK int
 	// CreatedUnix is the build timestamp recorded in the artifact (Unix
 	// seconds). It is injected by the caller — cmd/compilestore stamps the
 	// wall clock at the edge — so that Compile itself is a pure function of
@@ -118,6 +125,7 @@ func (cfg *CompileConfig) Spec(c coll.Collective, procs, msgBytes int) expt.Sele
 		Faults:     cfg.Faults,
 		WatchdogNs: cfg.WatchdogNs,
 		Runner:     cfg.Runner,
+		PruneTopK:  cfg.PruneTopK,
 	}
 }
 
@@ -135,6 +143,7 @@ func SpecOf(t *Table, pl *netmodel.Platform, c coll.Collective, procs, msgBytes 
 		Seed:       t.Seed,
 		Faults:     t.Faults,
 		WatchdogNs: t.WatchdogNs,
+		PruneTopK:  t.PruneTopK,
 	}
 }
 
@@ -150,10 +159,18 @@ func Compile(ctx context.Context, cfg CompileConfig) (*Table, error) {
 	}
 
 	// One selection per grid point; pre-count measured cells for progress.
+	// With model pruning only the top K candidates of a cell are simulated.
 	shapes := 9 // no_delay + the eight artificial patterns
+	perCell := func(c coll.Collective) int {
+		n := len(expt.CandidateAlgorithms(c))
+		if cfg.PruneTopK > 0 && cfg.PruneTopK < n {
+			n = cfg.PruneTopK
+		}
+		return n
+	}
 	totalCells := 0
 	for _, c := range cfg.Collectives {
-		totalCells += len(expt.CandidateAlgorithms(c)) * shapes * len(cfg.ProcsList) * len(cfg.Sizes)
+		totalCells += perCell(c) * shapes * len(cfg.ProcsList) * len(cfg.Sizes)
 	}
 	done := 0
 	progressFor := func(cells int) func(int, int) {
@@ -174,14 +191,15 @@ func Compile(ctx context.Context, cfg CompileConfig) (*Table, error) {
 		Warmup:              cfg.Warmup,
 		Faults:              cfg.Faults,
 		WatchdogNs:          cfg.WatchdogNs,
+		PruneTopK:           cfg.PruneTopK,
 	}
 	sizes := append([]int(nil), cfg.Sizes...)
 	sort.Ints(sizes)
 	for _, c := range cfg.Collectives {
-		nAlg := len(expt.CandidateAlgorithms(c))
-		if nAlg == 0 {
+		if len(expt.CandidateAlgorithms(c)) == 0 {
 			return nil, fmt.Errorf("store: no algorithms registered for %v", c)
 		}
+		nAlg := perCell(c)
 		for _, procs := range cfg.ProcsList {
 			sec := Section{Collective: c.String(), Procs: procs}
 			for _, size := range sizes {

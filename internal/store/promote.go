@@ -1,0 +1,55 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"collsel/internal/coll"
+)
+
+// WithCell returns a copy of t with cell installed at (collective, procs,
+// cell.MsgBytes), replacing an existing cell with that exact compiled size
+// or growing the section (or the table) with a new one. t is never mutated
+// — tables are immutable and may be shared with concurrent readers — and
+// the copy keeps t's CreatedUnix and provenance, so the result is the
+// table the compiler would have produced had its grid included this point.
+//
+// It is the promotion primitive of the model tier's answer ladder: a
+// background simulation refines a cell the model answered for, and the
+// serving layer installs the refined table with Handle.CompareAndSwap —
+// losing the swap race to a concurrent /reload just drops the promotion.
+func WithCell(t *Table, c coll.Collective, procs int, cell Cell) (*Table, error) {
+	if t == nil {
+		return nil, fmt.Errorf("store: nil base table")
+	}
+	if cell.MsgBytes <= 0 || procs <= 0 {
+		return nil, fmt.Errorf("store: cell coordinates must be positive (procs %d, msg_bytes %d)", procs, cell.MsgBytes)
+	}
+	// Deep-copy the section/cell storage (same discipline as RecompileCells).
+	nt := *t
+	nt.Sections = make([]Section, len(t.Sections))
+	for i, s := range t.Sections {
+		nt.Sections[i] = s
+		nt.Sections[i].Cells = append([]Cell(nil), s.Cells...)
+	}
+
+	name := c.String()
+	s := nt.section(name, procs)
+	if s == nil {
+		nt.Sections = append(nt.Sections, Section{Collective: name, Procs: procs, Cells: []Cell{cell}})
+	} else {
+		i := sort.Search(len(s.Cells), func(i int) bool { return s.Cells[i].MsgBytes >= cell.MsgBytes })
+		if i < len(s.Cells) && s.Cells[i].MsgBytes == cell.MsgBytes {
+			s.Cells[i] = cell
+		} else {
+			s.Cells = append(s.Cells, Cell{})
+			copy(s.Cells[i+1:], s.Cells[i:])
+			s.Cells[i] = cell
+		}
+	}
+	nt.CreatedUnix = t.CreatedUnix
+	if err := nt.Finalize(); err != nil {
+		return nil, err
+	}
+	return &nt, nil
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"context"
+	"testing"
+
+	"collsel/internal/coll"
+	"collsel/internal/expt"
+	"collsel/internal/netmodel"
+)
+
+func TestWithCell(t *testing.T) {
+	base := tinyTable(t)
+	cell := Cell{MsgBytes: 512, Winner: AlgoRef{ID: 2, Name: "pairwise"}, Score: 1.0, Conventional: AlgoRef{ID: 2, Name: "pairwise"}}
+
+	t.Run("insert into existing section", func(t *testing.T) {
+		nt, err := WithCell(base, coll.Alltoall, 8, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lk, ok := nt.Get(coll.Alltoall, 8, 512)
+		if !ok || !lk.Exact || lk.Cell.Winner.Name != "pairwise" {
+			t.Fatalf("promoted cell missing: ok=%v %+v", ok, lk)
+		}
+		if nt.Cells() != base.Cells()+1 {
+			t.Fatalf("cell count %d, want %d", nt.Cells(), base.Cells()+1)
+		}
+		// Existing cells survive; base is untouched; provenance is kept.
+		if _, ok := nt.Get(coll.Alltoall, 8, 64); !ok {
+			t.Fatal("promotion lost an existing cell")
+		}
+		if lk, ok := base.Get(coll.Alltoall, 8, 512); ok && lk.Exact {
+			t.Fatal("WithCell mutated the base table")
+		}
+		if nt.Version == base.Version {
+			t.Fatal("promoted table must re-version")
+		}
+		if nt.Seed != base.Seed || nt.Machine != base.Machine || nt.CreatedUnix != base.CreatedUnix {
+			t.Fatal("promotion dropped provenance")
+		}
+	})
+
+	t.Run("replace existing cell", func(t *testing.T) {
+		repl := Cell{MsgBytes: 64, Winner: AlgoRef{ID: 1, Name: "basic_linear"}, Score: 1.2, Conventional: AlgoRef{ID: 3, Name: "bruck"}}
+		nt, err := WithCell(base, coll.Alltoall, 8, repl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nt.Cells() != base.Cells() {
+			t.Fatalf("replacement changed cell count: %d vs %d", nt.Cells(), base.Cells())
+		}
+		lk, _ := nt.Get(coll.Alltoall, 8, 64)
+		if lk.Cell.Winner.Name != "basic_linear" {
+			t.Fatalf("cell not replaced: %+v", lk.Cell)
+		}
+	})
+
+	t.Run("new section", func(t *testing.T) {
+		nt, err := WithCell(base, coll.Bcast, 4, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := nt.Get(coll.Bcast, 4, 512); !ok {
+			t.Fatal("new section not created")
+		}
+		// The new section must land in canonical order: a round-trip
+		// through Finalize is checksum-stable.
+		v := nt.Version
+		if err := nt.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		if nt.Version != v {
+			t.Fatal("promoted table not in canonical order")
+		}
+	})
+
+	t.Run("rejects bad input", func(t *testing.T) {
+		if _, err := WithCell(nil, coll.Alltoall, 8, cell); err == nil {
+			t.Fatal("nil base accepted")
+		}
+		if _, err := WithCell(base, coll.Alltoall, 0, cell); err == nil {
+			t.Fatal("zero procs accepted")
+		}
+		if _, err := WithCell(base, coll.Alltoall, 8, Cell{}); err == nil {
+			t.Fatal("zero msg_bytes accepted")
+		}
+	})
+}
+
+// TestCompilePrunedReproducesDense is the pruning golden test: a table
+// compiled with model-guided pruning must pick the same winner as the
+// dense sweep on every cell of the default grid — the analytical model's
+// job is to cut simulation cost, not to change answers.
+func TestCompilePrunedReproducesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles two full tables")
+	}
+	cfg := CompileConfig{
+		Platform:    netmodel.SimCluster(),
+		Collectives: []coll.Collective{coll.Reduce, coll.Allreduce, coll.Alltoall},
+		ProcsList:   []int{8},
+		Sizes:       []int{64, 16384, 262144},
+		Seed:        1,
+		Factor:      1.0,
+	}
+	dense, err := Compile(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PruneTopK = 4
+	pruned, err := Compile(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.PruneTopK != 4 {
+		t.Fatalf("pruned table provenance PruneTopK=%d, want 4", pruned.PruneTopK)
+	}
+	if pruned.Version == dense.Version {
+		t.Fatal("pruned and dense artifacts cannot be byte-identical (provenance differs)")
+	}
+	for _, c := range cfg.Collectives {
+		for _, size := range cfg.Sizes {
+			d, ok := dense.Get(c, 8, size)
+			if !ok {
+				t.Fatalf("dense table missing %v/%d", c, size)
+			}
+			p, ok := pruned.Get(c, 8, size)
+			if !ok {
+				t.Fatalf("pruned table missing %v/%d", c, size)
+			}
+			// Winners must agree; scores may differ slightly because the
+			// per-pattern normalization runs over the surviving candidates.
+			if p.Cell.Winner != d.Cell.Winner {
+				t.Errorf("%v/%d B: pruned winner %s, dense winner %s",
+					c, size, p.Cell.Winner.Name, d.Cell.Winner.Name)
+			}
+		}
+	}
+	// A pruned cell reproduces from its own provenance (SpecOf carries
+	// PruneTopK), not from the dense one.
+	out, err := expt.SelectRobustCtx(context.Background(),
+		SpecOf(pruned, netmodel.SimCluster(), coll.Allreduce, 8, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CellFromOutcome(16384, out)
+	want, _ := pruned.Get(coll.Allreduce, 8, 16384)
+	if got.Winner != want.Cell.Winner || got.Score != want.Cell.Score {
+		t.Fatalf("SpecOf reproduction %+v differs from compiled cell %+v", got, want.Cell)
+	}
+}

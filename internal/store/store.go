@@ -110,6 +110,12 @@ type Table struct {
 	Faults     fault.Profile `json:"faults,omitempty"`
 	WatchdogNs int64         `json:"watchdog_ns,omitempty"`
 
+	// PruneTopK, when non-zero, records that the table was compiled with
+	// model-guided grid pruning: every cell simulated only the analytical
+	// model's top K candidates. Part of the reproduction provenance —
+	// SpecOf carries it into live re-selections.
+	PruneTopK int `json:"prune_topk,omitempty"`
+
 	// ProfileDigest, when non-empty, records that this table was (partially)
 	// recompiled by the feedback loop from an empirical skew profile: it is
 	// the SHA-256 digest of the aggregated observation state, and the seed

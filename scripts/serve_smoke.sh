@@ -4,12 +4,14 @@
 # table, (b) matches the recommendation a direct selection run computes
 # for the same spec, (c) survives a /reload, (d) under deliberate
 # overload (one worker, no wait queue) sheds excess cold load with
-# well-formed 429 + Retry-After responses, and (e) with the feedback loop
+# well-formed 429 + Retry-After responses, (e) with the feedback loop
 # enabled, a batch of drifted arrival-pattern observations posted to
 # /observe triggers a background recompile that hot-swaps a tuned table in
-# while /select keeps answering. SimCluster is noiseless with perfect
-# clocks, so one repetition is fully deterministic and the two paths must
-# agree exactly.
+# while /select keeps answering, and (f) with the model tier on, an
+# uncovered query is answered instantly from the analytical model and the
+# background refinement promotes the simulated cell into the hot table.
+# SimCluster is noiseless with perfect clocks, so one repetition is fully
+# deterministic and the two paths must agree exactly.
 set -eux
 
 addr=127.0.0.1:18177
@@ -59,12 +61,36 @@ curl -sf -X POST "http://$addr/reload" | grep -q '"new_version"'
 curl -sf "http://$addr/select?collective=alltoall&msg_bytes=1024&procs=8" \
     | grep -q "\"algorithm\":{\"id\":[0-9]*,\"name\":\"$served_alg\""
 
-# Shed mode: one cold worker and no wait queue. A concurrent burst of
+# Model tier (on by default): a size below the table's range misses and
+# is answered instantly from the analytical cost model; the background
+# refinement then simulates the cell and promotes it, so the same query
+# turns into an exact table hit.
+modeled=$(curl -sf "http://$addr/select?collective=alltoall&msg_bytes=128&procs=8")
+echo "$modeled" | grep -q '"source":"model"'
+echo "$modeled" | grep -q '"exact":false'
+promoted=0
+for _ in $(seq 1 100); do
+    if curl -sf "http://$addr/select?collective=alltoall&msg_bytes=128&procs=8" \
+        | grep -q '"source":"table"'; then
+        promoted=1
+        break
+    fi
+    sleep 0.2
+done
+test "$promoted" = "1"
+curl -sf "http://$addr/select?collective=alltoall&msg_bytes=128&procs=8" \
+    | grep -q '"exact":true'
+curl -sf "http://$addr/metrics" | grep -q 'collseld_select_source_total{source="model"} [1-9]'
+curl -sf "http://$addr/metrics" | grep -q 'collseld_model_promotions_total [1-9]'
+curl -sf "http://$addr/healthz" | grep -q '"coverage"'
+
+# Shed mode: one cold worker and no wait queue, with the model tier off so
+# every uncovered query takes the cold path. A concurrent burst of
 # distinct cold sizes (well above the table's range, so every one is a
 # live simulation) must shed most of the load with a well-formed 429
 # carrying Retry-After.
 "$bindir/collseld" -store "$tmp/table.json" -addr "$addr2" \
-    -cold-workers 1 -cold-queue -1 &
+    -model-tier=false -cold-workers 1 -cold-queue -1 &
 pid2=$!
 for _ in $(seq 1 50); do
     curl -sf "http://$addr2/healthz" >/dev/null 2>&1 && break
@@ -133,4 +159,4 @@ echo "$tuned" | grep -q '"exact":true'
 curl -sf "http://$addr3/metrics" | grep -q 'collseld_feedback_recompile_successes_total [1-9]'
 test -s "$tmp/wal/autotuned.json"
 
-echo "serve smoke OK: $served_alg (shed $shed/8 under overload, feedback recompile swapped)"
+echo "serve smoke OK: $served_alg (model answer promoted, shed $shed/8 under overload, feedback recompile swapped)"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-kernel check chaos serve-smoke modelcheck fuzz tools clean
+.PHONY: all build vet lint test race bench bench-json bench-kernel check chaos serve-smoke cluster-smoke modelcheck fuzz tools clean
 
 all: check
 
@@ -32,7 +32,7 @@ bench:
 # kernel benchmark artifact (bench-kernel).
 bench-json: bench-kernel
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkModelSelect|BenchmarkObserveIngest' \
+		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkModelSelect|BenchmarkObserveIngest|BenchmarkPeerSelect' \
 		-benchtime 1x -json . ./internal/serve > BENCH_select.json
 
 # Simulation-kernel benchmark artifact: raw event-loop / coroutine-wake /
@@ -55,11 +55,18 @@ check: build vet lint test race
 chaos: build
 	$(GO) test -race -run 'TestChaos|TestBreaker|TestNegativeColdCaching|TestDrainStateMachine|TestFlightFollowerCancel' -count=1 -v ./internal/serve
 	$(GO) test -race -run 'TestPipeline|TestWAL|TestOfferBackpressureAndClose' -count=1 -v ./internal/feedback
+	$(GO) test -race -count=1 -v ./internal/cluster
 
 # End-to-end serving smoke test against the tools built once by `tools`
 # (the script builds into a temp dir when run standalone).
 serve-smoke: tools
 	BIN_DIR=$(CURDIR)/bin ./scripts/serve_smoke.sh
+
+# Three-replica failover smoke test: boot a peer ring, drive mixed load,
+# SIGKILL one replica mid-stream, and assert zero client-visible errors
+# plus a winning hedge and a demoted peer in /healthz.
+cluster-smoke: tools
+	BIN_DIR=$(CURDIR)/bin ./scripts/cluster_smoke.sh
 
 # Analytical-model validation: Spearman rank correlation between the
 # closed-form cost model and the simulator, per collective, on the
@@ -68,11 +75,17 @@ serve-smoke: tools
 modelcheck:
 	$(GO) run ./cmd/modelcheck -machine SimCluster -procs 8
 
-# Randomized end-to-end correctness: every fuzzed (collective, algorithm,
-# procs, size, seed) run validates payloads against a direct computation.
+# Randomized end-to-end correctness and robustness: the collective payload
+# fuzzer validates fuzzed runs against a direct computation; the serve
+# fuzzers throw arbitrary bytes at every external JSON surface (/select,
+# /observe, /peer/cell) and require a documented status, never a panic.
+# One -fuzz pattern per `go test` invocation is a Go toolchain rule.
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test ./internal/microbench -run '^$$' -fuzz FuzzCollectiveCorrectness -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzSelectRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzObserveBatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzPeerCell$$' -fuzztime $(FUZZTIME)
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

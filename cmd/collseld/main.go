@@ -17,6 +17,15 @@
 // tuned artifact in (written next to the WAL as autotuned.json). Without
 // the flag /observe answers 404 and the daemon behaves exactly as before.
 //
+// -peers enables replication: the replicas consistent-hash the cold-cell
+// keyspace among themselves, forward uncovered queries to the owning
+// replica (hedging to the next one after -hedge-delay, capped by
+// -retry-budget), gossip computed cells over POST /peer/cell, and track
+// each other's liveness with -heartbeat probes. Every failure falls back
+// to the local selection ladder — peers speed answers up, never gate them.
+// Artifact saves retain the previous file as <store>.bak; startup and
+// /reload recover from it when the primary is corrupt.
+//
 // Usage:
 //
 //	compilestore -machine SimCluster -procs 8 -o table.json
@@ -29,15 +38,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"collsel/internal/cliutil"
+	"collsel/internal/cluster"
 	"collsel/internal/feedback"
 	"collsel/internal/serve"
 	"collsel/internal/store"
@@ -62,13 +74,22 @@ func main() {
 	observeBuffer := flag.Int("observe-buffer", 64, "accepted-but-not-yet-logged observation batches; /observe sheds with 429 beyond this")
 	recompileThreshold := flag.Float64("recompile-threshold", 0.25, "skew-factor drift that marks a table cell stale and triggers recompilation")
 	recompileBackoff := flag.Duration("recompile-backoff", 500*time.Millisecond, "base retry delay after a failed recompilation (doubles per failure, capped)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica (including this one); empty disables clustering")
+	self := flag.String("self", "", "this replica's own base URL as it appears in -peers (required with -peers)")
+	hedgeDelay := flag.Duration("hedge-delay", 50*time.Millisecond, "wait on the owning replica before hedging a forwarded cold query to the next one")
+	retryBudget := flag.Float64("retry-budget", cluster.DefaultRetryBudget, "fraction of forwarded requests allowed to hedge or retry (the anti-retry-storm cap)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "peer liveness probe interval")
+	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "per-call timeout for peer HTTP requests (forwards, probes, shares)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "collseld: ", log.LstdFlags)
 
-	tb, err := store.Load(*storePath)
+	tb, usedBackup, err := store.LoadWithFallback(*storePath)
 	if err != nil {
 		cliutil.Fatal("collseld", err)
+	}
+	if usedBackup {
+		logger.Printf("primary artifact %s unusable, recovered last-known-good %s", *storePath, store.BackupPath(*storePath))
 	}
 	logger.Printf("loaded %s: table %s for %s, %d cells", *storePath, tb.Version, tb.Machine, tb.Cells())
 
@@ -94,6 +115,36 @@ func main() {
 			*observeWAL, st.WAL.Records, st.Profiles, filepath.Join(*observeWAL, "autotuned.json"))
 	}
 
+	// The replication layer: a static peer ring with consistent-hash
+	// ownership of the cold-cell keyspace. Peers are an optimization — the
+	// local ladder answers whenever they cannot — so clustering is wired
+	// before serve.New but started after, and any validation error is fatal
+	// (a typo'd peer list must not silently serve standalone).
+	var clu *cluster.Cluster
+	if *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(peerList[i])
+		}
+		if *self == "" {
+			cliutil.Fatal("collseld", fmt.Errorf("-peers requires -self (this replica's URL as listed in -peers)"))
+		}
+		clu, err = cluster.New(cluster.Config{
+			Self:        *self,
+			Peers:       peerList,
+			HedgeDelay:  *hedgeDelay,
+			RetryBudget: *retryBudget,
+			Health:      cluster.HealthConfig{Interval: *heartbeat},
+			Transport:   cluster.NewHTTPTransport(*peerTimeout),
+			Logf:        logger.Printf,
+		})
+		if err != nil {
+			cliutil.Fatal("collseld", err)
+		}
+		logger.Printf("clustering enabled: self %s, %d replicas, hedge after %s, retry budget %.0f%%",
+			*self, len(peerList), *hedgeDelay, *retryBudget*100)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Handle:            handle,
 		StorePath:         *storePath,
@@ -110,14 +161,20 @@ func main() {
 			OpenFor:  *breakerOpen,
 			SlowCall: *breakerSlow,
 		},
-		Feedback: pipeline,
-		Logf:     logger.Printf,
+		Feedback:        pipeline,
+		Cluster:         clu,
+		RetryJitterSeed: jitterSeed(*self, *addr),
+		Logf:            logger.Printf,
 	})
 	if err != nil {
 		cliutil.Fatal("collseld", err)
 	}
 	if pipeline != nil {
 		pipeline.Start()
+	}
+	if clu != nil {
+		clu.Start()
+		defer clu.Close()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -191,4 +248,18 @@ func tableVersion(s *serve.Server) string {
 		return t.Version
 	}
 	return "none"
+}
+
+// jitterSeed derives a per-replica Retry-After jitter seed from its
+// identity, so every replica in a cluster spreads its backoff hints
+// differently while each individual replica stays deterministic.
+func jitterSeed(self, addr string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(self))
+	h.Write([]byte(addr))
+	seed := int64(h.Sum64())
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
 }

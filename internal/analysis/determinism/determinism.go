@@ -70,6 +70,12 @@ var DefaultScope = []string{
 	// so it lives under the same determinism contract as the compiler
 	// (timers for backoff are fine; wall-clock reads are not).
 	"internal/feedback",
+	// The replication layer routes by consistent hash and demotes peers by
+	// failure counts: every replica must reach the same owner for the same
+	// key, and the chaos suite replays the health machine on a fake clock —
+	// both break if wall-clock reads or ambient randomness sneak in (the
+	// injectable clock's production default is annotated in place).
+	"internal/cluster",
 }
 
 var Analyzer = &analysis.Analyzer{

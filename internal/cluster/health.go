@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is one rung of the peer health ladder. A peer moves down the
+// ladder on consecutive probe/forward failures and snaps back to alive on
+// any success; the thresholds make one lost heartbeat a suspicion, not a
+// verdict, so a garbage-collection pause does not eject a healthy replica.
+type PeerState int
+
+const (
+	// StateAlive: the peer answers; it receives forwards and shares.
+	StateAlive PeerState = iota
+	// StateSuspect: recent failures; forwards avoid it (the local fallback
+	// answers instead) but heartbeats keep probing and shares still flow,
+	// so a brief stall costs latency headroom, not data.
+	StateSuspect
+	// StateDead: persistently unreachable; skipped entirely until a probe
+	// succeeds again.
+	StateDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Probe checks one peer's liveness (production: GET /healthz through the
+// transport). A nil error is evidence of life; anything else is a failure.
+type Probe func(ctx context.Context, peer string) error
+
+// HealthConfig parameterizes the health machine.
+type HealthConfig struct {
+	// Interval is the heartbeat period of the background prober (default
+	// 1s); each probe round is bounded by one Interval.
+	Interval time.Duration
+	// SuspectAfter consecutive failures move a peer alive → suspect
+	// (default 1: the first missed heartbeat already costs the peer its
+	// forwarding traffic — failing over is cheap, a hung forward is not).
+	SuspectAfter int
+	// DeadAfter consecutive failures move the peer to dead (default 3).
+	DeadAfter int
+	// Clock is the time source (default: the real clock).
+	Clock Clock
+}
+
+func (c *HealthConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+}
+
+// peerHealth is the per-peer ledger guarded by Health.mu.
+type peerHealth struct {
+	state       PeerState
+	consecutive int       // consecutive failures since the last success
+	lastChange  time.Time // when state last moved
+	transitions int64     // state changes, for metrics
+}
+
+// Health tracks the liveness of every peer. Evidence arrives from two
+// sources — the heartbeat prober and the forwarding path (a failed forward
+// is a failed probe that already cost a request its latency) — and both
+// feed the same consecutive-failure counters.
+type Health struct {
+	cfg   HealthConfig
+	probe Probe
+	// order is the sorted peer list; iteration always walks it (never the
+	// map) so probe order, snapshots and rendered state are deterministic.
+	order []string
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+// NewHealth builds the tracker for peers (self excluded by the caller).
+func NewHealth(peers []string, probe Probe, cfg HealthConfig) *Health {
+	cfg.fill()
+	h := &Health{cfg: cfg, probe: probe, peers: map[string]*peerHealth{}}
+	h.order = append(h.order, peers...)
+	sort.Strings(h.order)
+	now := cfg.Clock.Now()
+	for _, p := range h.order {
+		h.peers[p] = &peerHealth{state: StateAlive, lastChange: now}
+	}
+	return h
+}
+
+// State returns the peer's current state; unknown peers are dead.
+func (h *Health) State(peer string) PeerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ph, ok := h.peers[peer]; ok {
+		return ph.state
+	}
+	return StateDead
+}
+
+// MarkSuccess records liveness evidence: the peer snaps back to alive.
+func (h *Health) MarkSuccess(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph, ok := h.peers[peer]
+	if !ok {
+		return
+	}
+	ph.consecutive = 0
+	h.moveTo(ph, StateAlive)
+}
+
+// MarkFailure records one failure and walks the peer down the ladder.
+func (h *Health) MarkFailure(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph, ok := h.peers[peer]
+	if !ok {
+		return
+	}
+	ph.consecutive++
+	switch {
+	case ph.consecutive >= h.cfg.DeadAfter:
+		h.moveTo(ph, StateDead)
+	case ph.consecutive >= h.cfg.SuspectAfter:
+		h.moveTo(ph, StateSuspect)
+	}
+}
+
+// moveTo transitions a peer; callers hold h.mu.
+func (h *Health) moveTo(ph *peerHealth, s PeerState) {
+	if ph.state == s {
+		return
+	}
+	ph.state = s
+	ph.lastChange = h.cfg.Clock.Now()
+	ph.transitions++
+}
+
+// ProbeOnce runs one synchronous heartbeat round over every tracked peer,
+// in sorted order. The background loop calls it each Interval; the
+// deterministic tests call it directly.
+func (h *Health) ProbeOnce(ctx context.Context) {
+	if h.probe == nil {
+		return
+	}
+	for _, p := range h.order {
+		pctx, cancel := context.WithTimeout(ctx, h.cfg.Interval)
+		err := h.probe(pctx, p)
+		cancel()
+		if err != nil {
+			h.MarkFailure(p)
+		} else {
+			h.MarkSuccess(p)
+		}
+	}
+}
+
+// PeerSnapshot is one peer's externally visible health, for /healthz and
+// /metrics.
+type PeerSnapshot struct {
+	Peer                string    `json:"peer"`
+	State               string    `json:"state"`
+	ConsecutiveFailures int       `json:"consecutive_failures,omitempty"`
+	Transitions         int64     `json:"transitions,omitempty"`
+	SinceChangeSec      float64   `json:"since_change_seconds,omitempty"`
+	Since               time.Time `json:"-"`
+}
+
+// Snapshot returns every peer's state, sorted by peer name.
+func (h *Health) Snapshot() []PeerSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.cfg.Clock.Now()
+	out := make([]PeerSnapshot, 0, len(h.order))
+	for _, p := range h.order {
+		ph := h.peers[p]
+		out = append(out, PeerSnapshot{
+			Peer:                p,
+			State:               ph.state.String(),
+			ConsecutiveFailures: ph.consecutive,
+			Transitions:         ph.transitions,
+			SinceChangeSec:      now.Sub(ph.lastChange).Seconds(),
+			Since:               ph.lastChange,
+		})
+	}
+	return out
+}

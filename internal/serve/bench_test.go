@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"collsel/internal/cluster"
 	"collsel/internal/coll"
 	"collsel/internal/store"
 )
@@ -117,6 +118,44 @@ func BenchmarkModelSelect(b *testing.B) {
 			b.Fatal("model answer refused")
 		}
 	}
+}
+
+// BenchmarkPeerSelect compares the two ways a replica can answer a hot
+// cell in a cluster: the owner-forwarded path (an extra HTTP hop through
+// the peer ring to a replica whose table covers it) against the plain
+// local table hit. The gap is the price of non-ownership before gossip
+// promotes the cell locally — it bounds how much the /peer/cell sharing
+// is worth.
+func BenchmarkPeerSelect(b *testing.B) {
+	reps := newServeCluster(b, 2, false, nil, nil)
+	// A covered cell: both the forward target and the local path answer
+	// from their tables, so the benchmark isolates routing cost.
+	req := SelectRequest{Collective: "alltoall", MsgBytes: 512, Procs: 8}
+	client := reps[0].ts.Client()
+
+	b.Run("owner-forwarded", func(b *testing.B) {
+		// Force the forward by asking replica 0 through the peer Select
+		// transport of replica 1's cluster — a real cross-replica hop.
+		for i := 0; i < b.N; i++ {
+			status, _, err := cluster.NewHTTPTransport(0).Select(context.Background(), reps[1].ts.URL, req.Collective, req.Procs, req.MsgBytes)
+			if err != nil || status != http.StatusOK {
+				b.Fatalf("forwarded select: %d %v", status, err)
+			}
+		}
+	})
+	b.Run("local-hit", func(b *testing.B) {
+		url := reps[0].ts.URL + "/select?collective=alltoall&msg_bytes=512&procs=8"
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("HTTP %d", resp.StatusCode)
+			}
+			drain(resp)
+		}
+	})
 }
 
 func drain(resp *http.Response) {

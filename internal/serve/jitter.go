@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// retryJitter spreads Retry-After hints over [base, 2*base]. Without it,
+// every client shed by the same overload event receives the same hint and
+// re-offers in the same second — a synchronized wave that recreates the
+// overload it was backing off from. The source is seeded per replica
+// (collseld hashes -self), so the jitter is deterministic for a given
+// seed and call sequence — testable — while distinct replicas in a
+// cluster still spread their hints differently.
+type retryJitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+//collsel:unordered the rand.Rand here is locally seeded and mutex-guarded, not the banned global source; determinism per seed is exactly the point
+func newRetryJitter(seed int64) *retryJitter {
+	return &retryJitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// hint converts a base duration into a jittered integer-second hint in
+// [base, 2*base], never below 1.
+func (j *retryJitter) hint(base time.Duration) int {
+	secs := int(base / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return secs + j.rng.Intn(secs+1)
+}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryJitterRange pins the jitter contract: hints land in [base,
+// 2*base] whole seconds, never below 1, and the sequence is a pure
+// function of the seed — same seed, same hints; different seeds diverge.
+func TestRetryJitterRange(t *testing.T) {
+	j := newRetryJitter(42)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		h := j.hint(3 * time.Second)
+		if h < 3 || h > 6 {
+			t.Fatalf("hint %d outside [3,6] for a 3s base", h)
+		}
+		seen[h] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("2000 hints never varied: %v", seen)
+	}
+	// Sub-second bases still emit a sane hint, jittered over [1,2].
+	for i := 0; i < 100; i++ {
+		if h := j.hint(200 * time.Millisecond); h < 1 || h > 2 {
+			t.Fatalf("sub-second base hinted %d, want [1,2]", h)
+		}
+	}
+
+	a, b := newRetryJitter(7), newRetryJitter(7)
+	for i := 0; i < 200; i++ {
+		if ha, hb := a.hint(5*time.Second), b.hint(5*time.Second); ha != hb {
+			t.Fatalf("same seed diverged at hint %d: %d vs %d", i, ha, hb)
+		}
+	}
+	c, d := newRetryJitter(1), newRetryJitter(2)
+	diverged := false
+	for i := 0; i < 200; i++ {
+		if c.hint(5*time.Second) != d.hint(5*time.Second) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds produced identical hint sequences")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"collsel/internal/cluster"
 	"collsel/internal/feedback"
 )
 
@@ -55,6 +56,18 @@ type metrics struct {
 	observeShed     atomic.Int64 // batches shed with 429 (ingest buffer full)
 	observeRejected atomic.Int64 // batches rejected as malformed (400)
 
+	// Replication-layer traffic (rendered only when clustering is on).
+	peerAnswers       atomic.Int64 // select answers served from a peer forward
+	peerHedgeWins     atomic.Int64 // peer answers won by the hedged attempt
+	peerCellsAccepted atomic.Int64 // /peer/cell payloads promoted into the table
+	peerCellsIgnored  atomic.Int64 // /peer/cell payloads identical to a compiled cell
+	peerCellsRejected atomic.Int64 // /peer/cell payloads rejected (malformed or wrong provenance)
+	peerCellsLostSwap atomic.Int64 // /peer/cell promotions that lost the swap race
+
+	// artifactFallbacks counts table loads served from the retained
+	// last-known-good artifact because the primary was corrupt or missing.
+	artifactFallbacks atomic.Int64
+
 	// latency is the /select latency histogram.
 	latency histogram
 }
@@ -65,7 +78,7 @@ func newMetrics() *metrics {
 
 // sourceNames is the fixed label set of collseld_select_source_total, in
 // render order. Every fillFromCell site maps to exactly one of these.
-var sourceNames = [...]string{"cold_cache", "computed", "model", "nearest-degraded", "table"}
+var sourceNames = [...]string{"cold_cache", "computed", "model", "nearest-degraded", "peer", "table"}
 
 func (m *metrics) countSource(source string) {
 	for i, n := range sourceNames {
@@ -211,6 +224,7 @@ func (m *metrics) render(b *strings.Builder, tableInfo func() (version string, a
 	counter("collseld_negative_cache_hits_total", "Cold queries answered from a cached failure.", m.negativeHits.Load())
 	counter("collseld_degraded_answers_total", "Nearest-cell answers served while the circuit breaker was open.", m.degradedAnswers.Load())
 	counter("collseld_model_promotions_total", "Model-tier background refinements promoted into the serving table.", m.modelPromotions.Load())
+	counter("collseld_artifact_fallbacks_total", "Table loads recovered from the last-known-good artifact.", m.artifactFallbacks.Load())
 
 	fmt.Fprintf(b, "# HELP collseld_select_source_total Served select answers by response source.\n")
 	fmt.Fprintf(b, "# TYPE collseld_select_source_total counter\n")
@@ -290,4 +304,42 @@ func renderFeedback(b *strings.Builder, m *metrics, st feedback.Stats) {
 	counter("collseld_feedback_swaps_lost_total", "Promotions dropped after losing the swap race to a reload.", st.SwapsLost)
 	counter("collseld_feedback_swaps_total", "Tables promoted by the feedback loop.", st.SwapGeneration)
 	gauge("collseld_feedback_backoff_state", "Recompiler backoff state (0=idle, 1=waiting, 2=parked).", st.BackoffState)
+}
+
+// renderCluster appends the replication-layer exposition: forward/hedge
+// counters, the retry budget, per-peer health states and the /peer/cell
+// gossip counters. Rendered only when a cluster is configured, after the
+// core (and feedback) render — scrapes of a single-replica server are
+// byte-identical to non-clustered builds.
+func renderCluster(b *strings.Builder, m *metrics, st cluster.Stats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("collseld_cluster_forwards_total", "Cold queries forwarded to their owning replica.", st.Forwards)
+	counter("collseld_cluster_forward_errors_total", "Forwards where every attempt failed (answered locally).", st.ForwardErrors)
+	counter("collseld_cluster_hedges_total", "Secondary (hedged or retried) forward attempts launched.", st.Hedges)
+	counter("collseld_cluster_hedge_wins_total", "Forwards won by the secondary attempt.", st.HedgeWins)
+	counter("collseld_cluster_owner_unavailable_total", "Forwards refused because the owner was suspect or dead.", st.OwnerUnavailable)
+	counter("collseld_cluster_shares_sent_total", "Cold-cell gossip deliveries to peers.", st.SharesSent)
+	counter("collseld_cluster_share_errors_total", "Cold-cell gossip deliveries that failed.", st.ShareErrors)
+	counter("collseld_cluster_shares_dropped_total", "Cold-cell shares dropped (queue full or shut down).", st.SharesDropped)
+	counter("collseld_cluster_budget_denied_total", "Hedge attempts denied by the retry budget.", st.Budget.Denied)
+
+	fmt.Fprintf(b, "# HELP collseld_cluster_budget_tokens Banked retry-budget tokens.\n")
+	fmt.Fprintf(b, "# TYPE collseld_cluster_budget_tokens gauge\n")
+	fmt.Fprintf(b, "collseld_cluster_budget_tokens %g\n", st.Budget.Tokens)
+
+	fmt.Fprintf(b, "# HELP collseld_cluster_peer_state Peer health (0=alive, 1=suspect, 2=dead).\n")
+	fmt.Fprintf(b, "# TYPE collseld_cluster_peer_state gauge\n")
+	stateNum := map[string]int{"alive": 0, "suspect": 1, "dead": 2}
+	for _, p := range st.Peers {
+		fmt.Fprintf(b, "collseld_cluster_peer_state{peer=%q} %d\n", p.Peer, stateNum[p.State])
+	}
+
+	counter("collseld_peer_answers_total", "Select answers served from a peer forward.", m.peerAnswers.Load())
+	counter("collseld_peer_hedge_wins_total", "Peer answers won by the hedged attempt.", m.peerHedgeWins.Load())
+	counter("collseld_peer_cells_accepted_total", "Gossiped peer cells promoted into the serving table.", m.peerCellsAccepted.Load())
+	counter("collseld_peer_cells_ignored_total", "Gossiped peer cells identical to an already-compiled cell.", m.peerCellsIgnored.Load())
+	counter("collseld_peer_cells_rejected_total", "Gossiped peer cells rejected (malformed or wrong provenance).", m.peerCellsRejected.Load())
+	counter("collseld_peer_cells_lost_swap_total", "Gossiped peer cells dropped after losing the table-swap race.", m.peerCellsLostSwap.Load())
 }

@@ -121,6 +121,7 @@ func (s *Server) refineAsync(t *store.Table, c coll.Collective, procs, msgBytes 
 			s.metrics.modelPromotions.Add(1)
 			s.logf("model refine: promoted %s %d procs %d B into table %s -> %s",
 				c, procs, msgBytes, t.Version, promoted.Version)
+			s.shareCold(t, c, procs, cell)
 		}
 	}()
 }

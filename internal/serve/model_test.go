@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -209,8 +210,10 @@ func TestObserveRetryAfterFlag(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		code, hdr := postObserve(t, ts.URL, driftObs(1.5, 1))
 		if code == http.StatusTooManyRequests {
-			if got := hdr.Get("Retry-After"); got != "7" {
-				t.Fatalf("shed /observe Retry-After %q, want 7 (the observe-specific hint)", got)
+			// Jittered over [7, 14] from the 7s observe-specific base.
+			secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+			if err != nil || secs < 7 || secs > 14 {
+				t.Fatalf("shed /observe Retry-After %q, want [7,14] (the jittered observe-specific hint)", hdr.Get("Retry-After"))
 			}
 			shed = true
 			break

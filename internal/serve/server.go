@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"collsel/internal/cluster"
 	"collsel/internal/coll"
 	"collsel/internal/expt"
 	"collsel/internal/feedback"
@@ -143,6 +144,17 @@ type Config struct {
 	// closed-loop autotuner behind it; nil serves 404 on /observe. The
 	// pipeline's lifecycle (Start/Close) belongs to the caller.
 	Feedback *feedback.Pipeline
+	// Cluster, when non-nil, enables the replication layer: the peer rung
+	// of the answer ladder (cold queries owned by another replica are
+	// forwarded there, hedged and budgeted), the /peer/cell gossip
+	// endpoint, and cluster state in /healthz and /metrics. The cluster's
+	// lifecycle (Start/Close) belongs to the caller.
+	Cluster *cluster.Cluster
+	// RetryJitterSeed seeds the deterministic jitter applied to every
+	// Retry-After hint, spreading shed clients' re-offers over [base,
+	// 2*base] instead of synchronizing them into a retry wave. Default 1;
+	// replicas should derive distinct seeds (collseld hashes -self).
+	RetryJitterSeed int64
 	// Logf, when non-nil, receives one line per reload and cold compute.
 	Logf func(format string, args ...any)
 }
@@ -161,6 +173,9 @@ type Server struct {
 	cold    *admission
 	breaker *breaker
 	drain   drainFlag
+	// jitter spreads Retry-After hints so shed clients don't re-offer in
+	// lockstep.
+	jitter *retryJitter
 	// coldCache memoizes computed cold cells — and, with a retry budget,
 	// cold failures — by query key with FIFO eviction (coldOrder); a
 	// repeated cold query costs a map read.
@@ -213,6 +228,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ObserveRetryAfter <= 0 {
 		cfg.ObserveRetryAfter = cfg.RetryAfter
 	}
+	if cfg.RetryJitterSeed == 0 {
+		cfg.RetryJitterSeed = 1
+	}
 	s := &Server{
 		cfg:      cfg,
 		handle:   cfg.Handle,
@@ -221,6 +239,7 @@ func New(cfg Config) (*Server, error) {
 		feedback: cfg.Feedback,
 		cold:     newAdmission(cfg.ColdWorkers, int64(cfg.ColdQueue)),
 		breaker:  newBreaker(cfg.Breaker, nil),
+		jitter:   newRetryJitter(cfg.RetryJitterSeed),
 		refining: map[string]bool{},
 		started:  time.Now(),
 	}
@@ -247,6 +266,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/observe", s.handleObserve)
+	mux.HandleFunc("/peer/cell", s.handlePeerCell)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -272,7 +292,8 @@ type SelectResponse struct {
 	Degraded     bool          `json:"degraded,omitempty"`
 	Excluded     []string      `json:"excluded,omitempty"`
 	// Source tells where the answer came from: "table", "cold_cache",
-	// "computed" or "nearest-degraded" (circuit breaker open; the answer is
+	// "peer" (forwarded to the owning replica), "model", "computed" or
+	// "nearest-degraded" (circuit breaker open; the answer is
 	// the closest covered cell, with AnsweredProcs/AnsweredMsgBytes holding
 	// the compiled coordinates it was actually built for). Exact is false
 	// when the answer came from a bin or a nearby cell rather than the exact
@@ -286,6 +307,9 @@ type SelectResponse struct {
 	// TableVersion is the version of the table that answered (also set for
 	// cold answers: they are computed under that table's provenance).
 	TableVersion string `json:"table_version"`
+	// Peer is set on source "peer" answers: the replica that actually
+	// answered the forwarded query.
+	Peer string `json:"peer,omitempty"`
 }
 
 // httpError is a JSON error reply.
@@ -387,6 +411,15 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Peer rung: a cold cell owned by another replica is forwarded there
+	// (hedged, budgeted) instead of simulated locally. Any failure falls
+	// through — the local ladder below can always answer.
+	if s.peerAnswer(r, t, c, req, &resp, key) {
+		s.metrics.latency.observe(time.Since(start).Seconds())
+		s.writeJSON(w, "select", http.StatusOK, resp)
+		return
+	}
+
 	// Model tier: answer the miss instantly from the analytical cost model
 	// and let a background simulation refine the cell into the table. The
 	// response never waits on the worker pool — the whole point of the
@@ -448,6 +481,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.breaker.record(time.Since(began), err)
 		if err == nil {
 			s.coldStore(key, coldEntry{cell: cell})
+			s.shareCold(t, c, req.Procs, cell)
 		} else if !isTransient(err) {
 			// Cache the failure with a recompute budget: a cell that is
 			// structurally unservable (model drift, oversized procs) should
@@ -476,25 +510,18 @@ func isTransient(err error) bool {
 	return errors.Is(err, errShed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// retryAfter stamps the Retry-After hint; call before httpError.
+// retryAfter stamps the Retry-After hint, jittered over [base, 2*base]
+// so shed clients spread their re-offers; call before httpError.
 func (s *Server) retryAfter(w http.ResponseWriter) {
-	secs := int(s.cfg.RetryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Retry-After", strconv.Itoa(s.jitter.hint(s.cfg.RetryAfter)))
 }
 
 // observeRetryAfter stamps the /observe-specific Retry-After hint, which
 // is configured independently of the /select one: shed observation
 // batches should back off on the producers' timescale, not the query
-// clients'.
+// clients'. Jittered like retryAfter.
 func (s *Server) observeRetryAfter(w http.ResponseWriter) {
-	secs := int(s.cfg.ObserveRetryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Retry-After", strconv.Itoa(s.jitter.hint(s.cfg.ObserveRetryAfter)))
 }
 
 // writeSelectError maps a cold-path failure to the response the degradation
@@ -621,6 +648,9 @@ type HealthResponse struct {
 	Machine       string    `json:"machine,omitempty"`
 	Coverage      *Coverage `json:"coverage,omitempty"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
+	// Cluster reports the replication layer's view — peer health, budget,
+	// forward/hedge counters — when clustering is enabled.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Coverage relates the loaded table to the traffic it actually receives:
@@ -658,6 +688,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Machine = t.Machine
 		resp.Coverage = s.metrics.coverage(t.Cells())
 	}
+	if s.cfg.Cluster != nil {
+		st := s.cfg.Cluster.Stats()
+		resp.Cluster = &st
+	}
 	s.writeJSON(w, "healthz", code, resp)
 }
 
@@ -667,20 +701,30 @@ type ReloadResponse struct {
 	NewVersion string `json:"new_version"`
 	Cells      int    `json:"cells"`
 	Swaps      int64  `json:"swaps"`
+	// UsedBackup is true when the primary artifact was unusable and the
+	// table came from the retained last-known-good copy.
+	UsedBackup bool `json:"used_backup,omitempty"`
 }
 
 // Reload re-reads and verifies the configured artifact and hot-swaps it
-// in. On any error the currently served table stays installed.
+// in, falling back to the retained last-known-good copy when the primary
+// is corrupt or missing. Only a double failure leaves the currently
+// served table installed.
 func (s *Server) Reload() (ReloadResponse, error) {
 	if s.cfg.StorePath == "" {
 		return ReloadResponse{}, fmt.Errorf("serve: no store path configured")
 	}
-	t, err := store.Load(s.cfg.StorePath)
+	t, usedBackup, err := store.LoadWithFallback(s.cfg.StorePath)
 	if err != nil {
 		return ReloadResponse{}, err
 	}
+	if usedBackup {
+		s.metrics.artifactFallbacks.Add(1)
+		s.logf("reload: primary artifact %s unusable, recovered last-known-good %s (table %s)",
+			s.cfg.StorePath, store.BackupPath(s.cfg.StorePath), t.Version)
+	}
 	old := s.handle.Swap(t)
-	resp := ReloadResponse{NewVersion: t.Version, Cells: t.Cells(), Swaps: s.handle.Swaps()}
+	resp := ReloadResponse{NewVersion: t.Version, Cells: t.Cells(), Swaps: s.handle.Swaps(), UsedBackup: usedBackup}
 	if old != nil {
 		resp.OldVersion = old.Version
 	}
@@ -723,6 +767,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	if s.feedback != nil {
 		renderFeedback(&b, s.metrics, s.feedback.Stats())
+	}
+	if s.cfg.Cluster != nil {
+		renderCluster(&b, s.metrics, s.cfg.Cluster.Stats())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -319,12 +319,28 @@ func TestReloadHotSwapUnderLoad(t *testing.T) {
 		t.Fatalf("swaps %d, want 11", s.handle.Swaps())
 	}
 
-	// A broken artifact must not displace the live table.
+	// A broken artifact does not displace the live table: the reload
+	// recovers the retained last-known-good copy (the previous save).
 	if err := writeGarbage(path); err != nil {
 		t.Fatal(err)
 	}
+	rr, err := s.Reload()
+	if err != nil {
+		t.Fatalf("reload with corrupt primary and good backup: %v", err)
+	}
+	if !rr.UsedBackup || rr.NewVersion != tbB.Version {
+		t.Fatalf("corrupt-primary reload: used_backup=%v version=%s, want backup %s", rr.UsedBackup, rr.NewVersion, tbB.Version)
+	}
+	if _, code := postSelect(t, ts.URL, SelectRequest{Collective: "alltoall", MsgBytes: 512, Procs: 8}); code != http.StatusOK {
+		t.Fatalf("service down after fallback reload: HTTP %d", code)
+	}
+
+	// With the backup gone too, the reload fails and the live table stays.
+	if err := os.Remove(store.BackupPath(path)); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Reload(); err == nil {
-		t.Fatal("reload accepted a corrupt artifact")
+		t.Fatal("reload accepted a corrupt artifact with no backup")
 	}
 	if _, code := postSelect(t, ts.URL, SelectRequest{Collective: "alltoall", MsgBytes: 512, Procs: 8}); code != http.StatusOK {
 		t.Fatalf("service down after failed reload: HTTP %d", code)

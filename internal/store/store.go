@@ -251,10 +251,18 @@ func (t *Table) Finalize() error {
 	return nil
 }
 
+// BackupPath is the last-known-good location Save retains the previous
+// artifact at: every successful write moves the old artifact aside
+// (atomic rename) instead of destroying it, and LoadWithFallback reads it
+// when the primary turns out corrupt or missing.
+func BackupPath(path string) string { return path + ".bak" }
+
 // Save writes the table as a checksummed artifact, atomically: the
 // envelope is written to a temp file in the destination directory and
 // renamed over path, so a reader (or a crashed writer) never observes a
-// torn artifact.
+// torn artifact. An existing artifact at path is retained as
+// BackupPath(path) — the last-known-good a corrupted write or a bad
+// promotion can be recovered from.
 func (t *Table) Save(path string) error {
 	if err := t.Finalize(); err != nil {
 		return err
@@ -283,6 +291,14 @@ func (t *Table) Save(path string) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return err
+	}
+	// Retain the previous artifact as the last-known-good. A crash between
+	// the two renames leaves only the backup — LoadWithFallback covers
+	// exactly that window.
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := os.Rename(path, BackupPath(path)); err != nil {
+			return err
+		}
 	}
 	return os.Rename(tmp.Name(), path)
 }
@@ -316,6 +332,24 @@ func Load(path string) (*Table, error) {
 	}
 	t.Version = versionOf(sum)
 	return &t, nil
+}
+
+// LoadWithFallback loads path, falling back to the retained
+// last-known-good artifact (BackupPath) when the primary is corrupt,
+// torn or missing. usedBackup tells the caller to log and count the
+// recovery; on a double failure the returned error carries both causes,
+// because "which copy is broken how" is the first thing an operator
+// needs.
+func LoadWithFallback(path string) (t *Table, usedBackup bool, err error) {
+	t, err = Load(path)
+	if err == nil {
+		return t, false, nil
+	}
+	bak, bakErr := Load(BackupPath(path))
+	if bakErr != nil {
+		return nil, false, fmt.Errorf("store: primary artifact unusable (%v) and no last-known-good: %v", err, bakErr)
+	}
+	return bak, true, nil
 }
 
 // Verify checks an artifact's integrity without keeping the table.

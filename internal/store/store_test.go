@@ -144,6 +144,75 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestSaveRetainsLastKnownGood pins the recovery contract: every Save over
+// an existing artifact moves the old one to BackupPath, and
+// LoadWithFallback serves the backup when the primary is corrupt or gone.
+func TestSaveRetainsLastKnownGood(t *testing.T) {
+	tb := tinyTable(t)
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(BackupPath(path)); !os.IsNotExist(err) {
+		t.Fatalf("first save created a backup: %v", err)
+	}
+
+	// A second save (e.g. a recompile promotion) retains the first artifact.
+	tb2 := tinyTable(t)
+	tb2.CreatedUnix = tb.CreatedUnix + 99
+	if err := tb2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	bak, err := Load(BackupPath(path))
+	if err != nil {
+		t.Fatalf("backup unusable after second save: %v", err)
+	}
+	if bak.Version != tb.Version {
+		t.Fatalf("backup version %q, want first artifact %q", bak.Version, tb.Version)
+	}
+
+	// Healthy primary: fallback path untouched.
+	got, usedBackup, err := LoadWithFallback(path)
+	if err != nil || usedBackup {
+		t.Fatalf("healthy primary: usedBackup=%v err=%v", usedBackup, err)
+	}
+	if got.Version != tb2.Version {
+		t.Fatalf("healthy primary served version %q, want %q", got.Version, tb2.Version)
+	}
+
+	// Corrupt primary: fallback recovers the last-known-good.
+	if err := os.WriteFile(path, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, usedBackup, err = LoadWithFallback(path)
+	if err != nil {
+		t.Fatalf("corrupt primary with good backup: %v", err)
+	}
+	if !usedBackup || got.Version != tb.Version {
+		t.Fatalf("corrupt primary: usedBackup=%v version=%q, want backup %q", usedBackup, got.Version, tb.Version)
+	}
+
+	// Missing primary (crash between the two renames): same recovery.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	got, usedBackup, err = LoadWithFallback(path)
+	if err != nil || !usedBackup || got.Version != tb.Version {
+		t.Fatalf("missing primary: usedBackup=%v err=%v", usedBackup, err)
+	}
+
+	// Both copies broken: the error names both causes.
+	if err := os.WriteFile(BackupPath(path), []byte("also bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadWithFallback(path); err == nil || !strings.Contains(err.Error(), "last-known-good") {
+		t.Fatalf("double corruption: err=%v", err)
+	}
+}
+
 func TestVersionIsContentHash(t *testing.T) {
 	a, b := tinyTable(t), tinyTable(t)
 	b.CreatedUnix = a.CreatedUnix + 12345

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-kernel check chaos serve-smoke cluster-smoke modelcheck fuzz tools clean
+.PHONY: all build vet lint lint-audit lint-sarif test race bench bench-json bench-kernel check chaos serve-smoke cluster-smoke modelcheck fuzz tools clean
 
 all: check
 
@@ -10,11 +10,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Custom go/analysis suite (determinism, ctxplumb, gohygiene): the
-# invariants the reproduction depends on, enforced mechanically. See
-# DESIGN.md "Enforced invariants".
+# Custom go/analysis suite (determinism, ctxplumb, gohygiene, lockhold,
+# metrichygiene, statuscontract, checksumfield): the invariants the
+# reproduction and the serving stack depend on, enforced mechanically.
+# See DESIGN.md "Enforced invariants".
 lint:
 	$(GO) run ./cmd/collsellint ./...
+
+# Escape-hatch audit: list every //collsel:<verb> directive in the tree
+# with its justification, and fail if any is stale — i.e. suppresses
+# nothing, because the code it once excused moved or was fixed. Stale
+# hatches are how suppressions outlive their reasons.
+lint-audit:
+	$(GO) run ./cmd/collsellint -audit ./...
+
+# Machine-readable findings (SARIF 2.1.0) for code-scanning UIs; CI
+# uploads the file as a workflow artifact.
+lint-sarif:
+	$(GO) run ./cmd/collsellint -sarif collsellint.sarif ./...
 
 test:
 	$(GO) test ./...
@@ -32,8 +45,8 @@ bench:
 # kernel benchmark artifact (bench-kernel).
 bench-json: bench-kernel
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkModelSelect|BenchmarkObserveIngest|BenchmarkPeerSelect' \
-		-benchtime 1x -json . ./internal/serve > BENCH_select.json
+		-bench 'BenchmarkSelection_|BenchmarkHotTableLookup|BenchmarkServeHot|BenchmarkColdSelectCtx|BenchmarkModelSelect|BenchmarkObserveIngest|BenchmarkPeerSelect|BenchmarkLintTree' \
+		-benchtime 1x -json . ./internal/serve ./cmd/collsellint > BENCH_select.json
 
 # Simulation-kernel benchmark artifact: raw event-loop / coroutine-wake /
 # world-churn numbers plus the cold-selection speedup over the recorded

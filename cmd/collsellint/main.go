@@ -1,36 +1,60 @@
-// Command collsellint runs the repo's custom go/analysis suite: the
-// determinism, ctxplumb and gohygiene analyzers that mechanically enforce
-// the invariants the reproduction depends on (see DESIGN.md "Enforced
-// invariants").
+// Command collsellint runs the repo's custom go/analysis suite: the seven
+// analyzers that mechanically enforce the invariants the reproduction and
+// its serving stack depend on (see DESIGN.md "Enforced invariants"):
+// determinism, ctxplumb, gohygiene, lockhold, metrichygiene,
+// statuscontract and checksumfield.
 //
 // It is one binary with two faces:
 //
 //   - invoked with package patterns, it drives itself through the go
-//     command, which handles loading, type-checking and caching:
+//     command, which handles loading, type-checking, fact propagation and
+//     caching:
 //
 //     go run ./cmd/collsellint ./...
 //
 //   - invoked by `go vet -vettool=...` (the go command passes -V=full and
 //     then a *.cfg file per package), it acts as a standard unitchecker
-//     backend. The driver face is just sugar for
+//     backend. The plain driver face is just sugar for
 //
 //     go vet -vettool=$(which collsellint) ./...
 //
-// Exit status is non-zero when any analyzer reports a diagnostic.
+// Driver-only modes:
+//
+//	collsellint -json ./...        emit go vet's JSON diagnostic stream
+//	collsellint -sarif out ./...   write SARIF 2.1.0 for CI annotations ("-" = stdout)
+//	collsellint -audit ./...       list every //collsel: escape hatch with its
+//	                               justification; exit non-zero on stale ones
+//	                               (directives that no longer suppress a finding)
+//
+// Exit status is non-zero when any analyzer reports a diagnostic, and in
+// -audit mode also when a stale or malformed escape hatch exists.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"collsel/internal/analysis/annotation"
+	"collsel/internal/analysis/checksumfield"
 	"collsel/internal/analysis/ctxplumb"
 	"collsel/internal/analysis/determinism"
 	"collsel/internal/analysis/gohygiene"
+	"collsel/internal/analysis/lockhold"
+	"collsel/internal/analysis/metrichygiene"
+	"collsel/internal/analysis/statuscontract"
 )
 
 func analyzers() []*analysis.Analyzer {
@@ -38,6 +62,10 @@ func analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		ctxplumb.Analyzer,
 		gohygiene.Analyzer,
+		lockhold.Analyzer,
+		metrichygiene.Analyzer,
+		statuscontract.Analyzer,
+		checksumfield.Analyzer,
 	}
 }
 
@@ -45,40 +73,429 @@ func main() {
 	if vetToolMode(os.Args[1:]) {
 		unitchecker.Main(analyzers()...) // does not return
 	}
-
-	// Driver mode: hand the package patterns to go vet with ourselves as
-	// the vettool. os.Executable works under `go run` too (the temporary
-	// binary exists for the duration of the run).
-	exe, err := os.Executable()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
-		os.Exit(1)
-	}
-	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
-	cmd := exec.Command("go", args...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
-		}
-		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(driver(os.Args[1:]))
 }
 
 // vetToolMode reports whether the process was invoked by the go command's
 // vet machinery rather than by a human: `-V=full` for the tool version
 // handshake, a *.cfg package config, or analyzer flags (which only the
-// unitchecker face understands).
+// unitchecker face understands). The driver-only flags below stay in
+// driver mode.
 func vetToolMode(args []string) bool {
 	if len(args) == 0 {
 		return true // print usage via unitchecker
 	}
 	for _, a := range args {
-		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+		if strings.HasSuffix(a, ".cfg") {
 			return true
+		}
+		if strings.HasPrefix(a, "-") {
+			name, _, _ := strings.Cut(a, "=")
+			switch name {
+			case "-json", "-sarif", "-audit":
+			default:
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// driver interprets the human-facing command line and returns the exit
+// code.
+func driver(args []string) int {
+	var (
+		jsonOut  bool
+		sarifOut string
+		audit    bool
+		patterns []string
+	)
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, hasVal := strings.Cut(a, "=")
+		switch name {
+		case "-json":
+			jsonOut = true
+		case "-audit":
+			audit = true
+		case "-sarif":
+			if hasVal {
+				sarifOut = val
+			} else if i+1 < len(args) {
+				i++
+				sarifOut = args[i]
+			} else {
+				fmt.Fprintln(os.Stderr, "collsellint: -sarif needs an output path (\"-\" for stdout)")
+				return 2
+			}
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+
+	switch {
+	case audit:
+		return runAudit(exe, patterns)
+	case sarifOut != "":
+		return runSARIF(exe, patterns, sarifOut)
+	case jsonOut:
+		out, code := runVetJSON(exe, patterns, nil)
+		os.Stdout.Write(out)
+		return code
+	}
+
+	// Plain mode: hand the package patterns to go vet with ourselves as
+	// the vettool. os.Executable works under `go run` too (the temporary
+	// binary exists for the duration of the run).
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// diag is one parsed diagnostic from go vet's JSON stream.
+type diag struct {
+	analyzer string
+	file     string
+	line     int
+	col      int
+	message  string
+}
+
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runVetJSON runs `go vet -vettool=exe -json extra... patterns...` and
+// returns the raw combined stdout plus an exit code reflecting vet
+// failures (vet itself exits 0 in JSON mode; load errors surface on
+// stderr with a non-zero code).
+func runVetJSON(exe string, patterns, extra []string) ([]byte, int) {
+	args := append([]string{"vet", "-vettool=" + exe, "-json"}, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	// go vet emits the JSON diagnostic stream (and the `# pkg` comment
+	// lines) on stderr; capture both streams so nothing is lost.
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	code := 0
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else {
+			fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+			code = 1
+		}
+	}
+	return out.Bytes(), code
+}
+
+// parseVetJSON decodes the stream go vet -json emits: `# pkg` comment
+// lines interleaved with one JSON object per package of the shape
+// {"pkgid": {"analyzer": [diag, ...] | {"error": ...}}}.
+func parseVetJSON(raw []byte) ([]diag, error) {
+	var filtered bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		if strings.HasPrefix(strings.TrimSpace(sc.Text()), "#") {
+			continue
+		}
+		filtered.Write(sc.Bytes())
+		filtered.WriteByte('\n')
+	}
+	var diags []diag
+	dec := json.NewDecoder(&filtered)
+	for dec.More() {
+		var tree map[string]map[string]json.RawMessage
+		if err := dec.Decode(&tree); err != nil {
+			return nil, fmt.Errorf("decode vet json: %w", err)
+		}
+		for _, byAnalyzer := range tree {
+			for name, rawDiags := range byAnalyzer {
+				var ds []jsonDiagnostic
+				if err := json.Unmarshal(rawDiags, &ds); err != nil {
+					continue // per-package error object, reported by vet on stderr
+				}
+				for _, d := range ds {
+					file, line, col := splitPosn(d.Posn)
+					diags = append(diags, diag{analyzer: name, file: file, line: line, col: col, message: d.Message})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].file != diags[j].file {
+			return diags[i].file < diags[j].file
+		}
+		if diags[i].line != diags[j].line {
+			return diags[i].line < diags[j].line
+		}
+		return diags[i].message < diags[j].message
+	})
+	return diags, nil
+}
+
+// splitPosn parses "file:line:col" (the file part may contain colons on
+// other platforms, so split from the right).
+func splitPosn(posn string) (file string, line, col int) {
+	rest := posn
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		col, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		line, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	return rest, line, col
+}
+
+// --- SARIF ---
+
+// Minimal SARIF 2.1.0 document: one run, one rule per analyzer, one
+// result per diagnostic. Enough for GitHub code-scanning upload or the
+// sarif-annotator actions.
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+type sarifRule struct {
+	ID        string    `json:"id"`
+	ShortDesc sarifText `json:"shortDescription"`
+}
+type sarifText struct {
+	Text string `json:"text"`
+}
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func runSARIF(exe string, patterns []string, out string) int {
+	raw, _ := runVetJSON(exe, patterns, nil)
+	diags, err := parseVetJSON(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+
+	cwd, _ := os.Getwd()
+	doc := sarifDoc{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+	}
+	run := sarifRun{Results: []sarifResult{}}
+	run.Tool.Driver.Name = "collsellint"
+	for _, a := range analyzers() {
+		short, _, _ := strings.Cut(a.Doc, "\n")
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID: a.Name, ShortDesc: sarifText{Text: short},
+		})
+	}
+	for _, d := range diags {
+		uri := d.file
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.file); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = filepath.ToSlash(rel)
+			}
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: uri},
+				Region:           sarifRegion{StartLine: d.line, StartColumn: d.col},
+			}}},
+		})
+	}
+	doc.Runs = []sarifRun{run}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "collsellint: %d finding(s) written to %s\n", len(diags), out)
+		return 1
+	}
+	return 0
+}
+
+// --- Escape-hatch audit ---
+
+// hatch is one //collsel: directive found in the source tree.
+type hatch struct {
+	file          string
+	line          int
+	verb          string
+	justification string
+	live          bool
+}
+
+// runAudit re-runs the suite with every analyzer's -audit flag set, which
+// makes each suppression emit a marker diagnostic at its directive's
+// position, then cross-references the markers against the directives
+// parsed from source. A justified directive with no marker suppresses
+// nothing: it is stale and fails the audit (the flagged condition was
+// fixed or the code deleted, so the hatch must go too).
+func runAudit(exe string, patterns []string) int {
+	var extra []string
+	for _, a := range analyzers() {
+		extra = append(extra, "-"+a.Name+".audit")
+	}
+	raw, _ := runVetJSON(exe, patterns, extra)
+	diags, err := parseVetJSON(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+
+	markers := make(map[string]bool) // "file:line" of live directives
+	var findings []diag              // real diagnostics (tree not clean)
+	for _, d := range diags {
+		if strings.HasPrefix(d.message, annotation.AuditMarker) {
+			markers[fmt.Sprintf("%s:%d", d.file, d.line)] = true
+		} else {
+			findings = append(findings, d)
+		}
+	}
+
+	hatches, err := collectHatches(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collsellint: %v\n", err)
+		return 1
+	}
+
+	stale := 0
+	fmt.Printf("%d escape hatch(es):\n", len(hatches))
+	for i := range hatches {
+		h := &hatches[i]
+		h.live = markers[fmt.Sprintf("%s:%d", h.file, h.line)]
+		status := "live"
+		if !h.live {
+			status = "STALE"
+			stale++
+		}
+		rel := h.file
+		if cwd, err := os.Getwd(); err == nil {
+			if r, err := filepath.Rel(cwd, h.file); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+		}
+		fmt.Printf("  %-5s %s:%d  //collsel:%s  %s\n", status, rel, h.line, h.verb, h.justification)
+	}
+
+	code := 0
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "collsellint: %d stale escape hatch(es): the suppressed finding no longer exists; remove the directive\n", stale)
+		code = 1
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "collsellint: tree is not clean (%d finding(s)):\n", len(findings))
+		for _, d := range findings {
+			fmt.Fprintf(os.Stderr, "  %s:%d: %s: %s\n", d.file, d.line, d.analyzer, d.message)
+		}
+		code = 1
+	}
+	return code
+}
+
+// collectHatches parses every non-test .go file of the matched packages
+// for justified //collsel: directives. Unjustified or unknown-verb
+// directives are already hard findings (determinism audits the namespace),
+// so they surface through the findings path, not here.
+func collectHatches(patterns []string) ([]hatch, error) {
+	cmd := exec.Command("go", append([]string{"list", "-f", "{{.Dir}}"}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dirs := strings.Fields(string(out))
+	sort.Strings(dirs)
+
+	var hatches []hatch
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range annotation.Collect(fset, f).All() {
+				if d.Justification == "" || !annotation.Known(d.Verb) {
+					continue
+				}
+				hatches = append(hatches, hatch{
+					file: path, line: d.Line, verb: d.Verb, justification: d.Justification,
+				})
+			}
+		}
+	}
+	return hatches, nil
 }

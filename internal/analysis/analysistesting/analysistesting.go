@@ -28,6 +28,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"runtime"
 	"sort"
@@ -41,6 +42,19 @@ import (
 // Run loads <testdata>/src/<pkg> and applies a (running its Requires
 // first), then compares diagnostics against the package's want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	run(t, testdata, a, pkg, false)
+}
+
+// RunWithSuggestedFixes is Run plus golden-file checking: every suggested
+// fix reported by the analyzer is applied to its file, and the result must
+// match the <file>.golden sibling.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	run(t, testdata, a, pkg, true)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string, fixes bool) {
 	t.Helper()
 
 	dir := filepath.Join(testdata, "src", pkg)
@@ -70,22 +84,153 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	}
 
 	var diags []analysis.Diagnostic
+	facts := newFactStore()
 	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        tpkg,
-		TypesInfo:  info,
-		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
-		ReadFile:   os.ReadFile,
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
-		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             files,
+		Pkg:               tpkg,
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", runtime.GOARCH),
+		ReadFile:          os.ReadFile,
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ResultOf:          make(map[*analysis.Analyzer]interface{}),
+		ImportObjectFact:  facts.importObjectFact,
+		ExportObjectFact:  facts.exportObjectFact,
+		ImportPackageFact: facts.importPackageFact,
+		ExportPackageFact: facts.exportPackageFact,
+		AllObjectFacts:    facts.allObjectFacts,
+		AllPackageFacts:   facts.allPackageFacts,
 	}
 	if err := runWithRequires(pass, a, map[*analysis.Analyzer]bool{}); err != nil {
 		t.Fatalf("run %s: %v", a.Name, err)
 	}
 
 	checkDiagnostics(t, fset, files, diags)
+	if fixes {
+		checkSuggestedFixes(t, fset, dir, diags)
+	}
+}
+
+// factStore is the in-memory substitute for the driver's fact
+// serialization. The harness loads a single package, so "imported" facts
+// are exactly those exported earlier in the same run — which matches how
+// this module's analyzers use facts for intra-package fixed points
+// (cross-package propagation is exercised by the real `go vet` run over
+// the tree).
+type factStore struct {
+	obj map[types.Object][]analysis.Fact
+	pkg map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: make(map[types.Object][]analysis.Fact),
+		pkg: make(map[*types.Package][]analysis.Fact),
+	}
+}
+
+// copyFact assigns a stored fact of the same concrete type into ptr and
+// reports whether one was found.
+func copyFact(stored []analysis.Fact, ptr analysis.Fact) bool {
+	want := reflect.TypeOf(ptr)
+	for _, f := range stored {
+		if reflect.TypeOf(f) == want {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) importObjectFact(obj types.Object, ptr analysis.Fact) bool {
+	return copyFact(s.obj[obj], ptr)
+}
+
+func (s *factStore) exportObjectFact(obj types.Object, fact analysis.Fact) {
+	s.obj[obj] = append(s.obj[obj], fact)
+}
+
+func (s *factStore) importPackageFact(pkg *types.Package, ptr analysis.Fact) bool {
+	// See exportPackageFact: all package facts live under the nil key.
+	return copyFact(s.pkg[nil], ptr)
+}
+
+func (s *factStore) exportPackageFact(fact analysis.Fact) {
+	// Single-package harness: package facts attach to the tested package
+	// only; the key is irrelevant as long as import and export agree.
+	s.pkg[nil] = append(s.pkg[nil], fact)
+}
+
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, facts := range s.obj {
+		for _, f := range facts {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+	return out
+}
+
+func (s *factStore) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, facts := range s.pkg {
+		for _, f := range facts {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+	}
+	return out
+}
+
+// checkSuggestedFixes applies every reported fix to its file and compares
+// the result against the .golden sibling (testdata/src/<pkg>/<file>.golden).
+func checkSuggestedFixes(t *testing.T, fset *token.FileSet, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				p := fset.Position(te.Pos)
+				end := te.End
+				if !end.IsValid() {
+					end = te.Pos
+				}
+				perFile[p.Filename] = append(perFile[p.Filename],
+					edit{start: p.Offset, end: fset.Position(end).Offset, text: te.NewText})
+			}
+		}
+	}
+	if len(perFile) == 0 {
+		t.Errorf("RunWithSuggestedFixes: analyzer reported no suggested fixes")
+		return
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				t.Fatalf("%s: suggested fix edit out of range [%d,%d)", file, e.start, e.end)
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+		}
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("read golden %s: %v", golden, err)
+		}
+		if string(src) != string(want) {
+			t.Errorf("suggested fixes applied to %s do not match %s:\n--- got ---\n%s\n--- want ---\n%s",
+				filepath.Base(file), filepath.Base(golden), src, want)
+		}
+	}
 }
 
 // runWithRequires runs a's prerequisite analyzers (facts-free, as all of

@@ -5,31 +5,85 @@
 //
 //	//collsel:<verb> <justification>
 //
-// and guards the source line it is written on plus the following line, so
-// both placements work:
+// and guards a *node range*: the directive suppresses a finding whose
+// reported node starts on the directive's line, starts on the line right
+// after it, or — for constructs that span lines, like a `go func() { ... }()`
+// statement or a struct-literal field whose value wraps — *ends* on the
+// directive's line. All four placements therefore work:
 //
 //	t.CreatedUnix = clock() //collsel:wallclock justification here
 //
 //	//collsel:wallclock justification here
 //	t.CreatedUnix = clock()
 //
+//	//collsel:goroutine justification here
+//	go func() {
+//		...
+//	}()
+//
+//	go func() {
+//		...
+//	}() //collsel:goroutine justification here
+//
+// A directive does NOT guard lines strictly inside a multi-line construct:
+// an annotation buried in the middle of a function literal's body guards
+// nothing (PR 10 pinned this rule down; the pre-PR-10 guard anchored only
+// to the reported statement's first line, which silently ignored trailing
+// annotations on the closing `}()` of a spanning literal).
+//
 // The justification is mandatory: a directive with an empty justification
 // does not suppress anything and is itself reported as a violation by the
-// analyzer that owns the verb. Known verbs are "wallclock" and "unordered"
-// (determinism), "ctx" (ctxplumb) and "goroutine" (gohygiene).
+// analyzer that owns the verb, as is a directive with an unknown verb.
+// Known verbs are "wallclock" and "unordered" (determinism), "ctx"
+// (ctxplumb), "goroutine" (gohygiene), "lockhold" (lockhold), "metric"
+// (metrichygiene), "status" (statuscontract) and "checksum" (checksumfield).
 package annotation
 
 import (
+	"flag"
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
+
+	"golang.org/x/tools/go/analysis"
 )
 
 // Prefix is the comment prefix shared by every collsellint directive.
 const Prefix = "collsel:"
 
 // Verbs lists every directive verb an analyzer in this module understands.
-var Verbs = []string{"wallclock", "unordered", "ctx", "goroutine"}
+var Verbs = []string{
+	"wallclock", "unordered", // determinism
+	"ctx",       // ctxplumb
+	"goroutine", // gohygiene
+	"lockhold",  // lockhold
+	"metric",    // metrichygiene
+	"status",    // statuscontract
+	"checksum",  // checksumfield
+}
+
+// Audit, when true, makes Suppressed emit a marker diagnostic at every
+// directive that actually suppresses a finding. `collsellint -audit` runs
+// the suite with each analyzer's -audit flag set and cross-references the
+// markers against the parsed directives: a justified directive without a
+// marker is *stale* — it no longer suppresses anything and must be removed.
+// Every analyzer registers the flag via RegisterAuditFlag, so the flag set
+// differs from a plain lint run and `go vet`'s result cache keys the two
+// modes separately.
+var Audit bool
+
+// AuditMarker prefixes the diagnostic Suppressed emits in audit mode. The
+// collsellint driver greps for it; tests match on it.
+const AuditMarker = "audit: //collsel:"
+
+// RegisterAuditFlag registers the shared -audit flag on one analyzer's
+// flag set. All analyzers point at the same Audit variable; flags are
+// parsed before any analyzer runs, so the shared write is race-free.
+func RegisterAuditFlag(fs *flag.FlagSet) {
+	fs.BoolVar(&Audit, "audit", Audit,
+		"report a marker diagnostic at every //collsel: directive that suppresses a finding (used by collsellint -audit)")
+}
 
 // Directive is one parsed //collsel:<verb> comment.
 type Directive struct {
@@ -74,17 +128,59 @@ func Collect(fset *token.FileSet, f *ast.File) *File {
 func (f *File) All() []Directive { return f.directives }
 
 // Guarded returns the justified directive with the given verb guarding the
-// node at pos, or nil. A directive guards its own line and the next one;
-// unjustified directives never guard (they are themselves findings).
+// single-position node at pos, or nil. Shorthand for GuardedRange(verb,
+// pos, pos); prefer GuardedRange with the reported node's true extent so
+// trailing annotations on multi-line constructs work.
 func (f *File) Guarded(verb string, pos token.Pos) *Directive {
-	line := f.fset.Position(pos).Line
+	return f.GuardedRange(verb, pos, pos)
+}
+
+// GuardedRange returns the justified directive with the given verb
+// guarding the node spanning [pos, end], or nil. The guard rule: the
+// directive's line must be the node's first line, the line immediately
+// above it, or the node's last line (a trailing annotation on the closing
+// `}()` of a spanning literal). Unjustified directives never guard — they
+// are themselves findings.
+func (f *File) GuardedRange(verb string, pos, end token.Pos) *Directive {
+	start := f.fset.Position(pos).Line
+	last := start
+	if end.IsValid() && end >= pos {
+		last = f.fset.Position(end).Line
+	}
 	for i := range f.directives {
 		d := &f.directives[i]
-		if d.Verb == verb && d.Justification != "" && (d.Line == line || d.Line == line-1) {
+		if d.Verb != verb || d.Justification == "" {
+			continue
+		}
+		if d.Line == start || d.Line == start-1 || d.Line == last {
 			return d
 		}
 	}
 	return nil
+}
+
+// Suppressed reports whether a justified directive with verb guards the
+// node range [pos, end]. In audit mode it additionally emits the marker
+// diagnostic at the directive's own position, proving the hatch is live.
+// Analyzers call it at every would-be report site:
+//
+//	if ann.Suppressed(pass, "lockhold", n.Pos(), n.End()) {
+//		return
+//	}
+//	pass.Reportf(...)
+func (f *File) Suppressed(pass *analysis.Pass, verb string, pos, end token.Pos) bool {
+	d := f.GuardedRange(verb, pos, end)
+	if d == nil {
+		return false
+	}
+	if Audit {
+		pass.Report(analysis.Diagnostic{
+			Pos: d.Pos,
+			Message: fmt.Sprintf("%s%s in use (suppresses a %s finding at line %d)",
+				AuditMarker, d.Verb, verb, f.fset.Position(pos).Line),
+		})
+	}
+	return true
 }
 
 // Known reports whether verb is one an analyzer in this module implements.

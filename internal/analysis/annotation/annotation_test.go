@@ -89,6 +89,36 @@ func TestGuarded(t *testing.T) {
 	}
 }
 
+func TestGuardedRange(t *testing.T) {
+	fset, af := parse(t)
+	posOnLine := func(line int) token.Pos {
+		return fset.File(token.Pos(1)).LineStart(line)
+	}
+	// Directives in src: wallclock on line 3, unordered on line 6 (both
+	// justified), ctx on line 8 (unjustified). Ranges model multi-line
+	// constructs such as go func(){...}() statements.
+	cases := []struct {
+		name       string
+		verb       string
+		start, end int
+		guarded    bool
+	}{
+		{"directive on the start line", "wallclock", 3, 6, true},
+		{"directive on the line above the start", "wallclock", 4, 7, true},
+		{"trailing directive on the end line", "unordered", 4, 6, true},
+		{"directive strictly inside guards nothing", "unordered", 5, 8, false},
+		{"directive above the range guards nothing", "wallclock", 5, 8, false},
+		{"unjustified directive guards nothing", "ctx", 8, 10, false},
+	}
+	for _, c := range cases {
+		got := af.GuardedRange(c.verb, posOnLine(c.start), posOnLine(c.end)) != nil
+		if got != c.guarded {
+			t.Errorf("%s: GuardedRange(%q, L%d, L%d) guarded=%v, want %v",
+				c.name, c.verb, c.start, c.end, got, c.guarded)
+		}
+	}
+}
+
 func TestKnown(t *testing.T) {
 	for _, v := range Verbs {
 		if !Known(v) {

@@ -1,0 +1,182 @@
+// Package checksumfield implements the collsellint analyzer that keeps the
+// artifact checksum complete.
+//
+// A decision-table artifact is provenance: store.Table's SHA-256 envelope
+// is what lets a replica trust a gossiped cell, the feedback loop verify a
+// recompile, and an operator diff two deployments. The checksum covers a
+// JSON canonicalization of the struct, so it covers exactly the exported
+// fields that (a) survive json.Marshal and (b) are not zeroed on the canon
+// copy inside the checksum function. PR 8 and PR 9 each added Table fields
+// by hand and had to remember this; the analyzer remembers instead.
+//
+// For every target struct (store.Table and store.Cell by default), an
+// exported field is flagged when it cannot reach the checksum computation:
+// it carries a json:"-" tag, or the checksum function assigns over it on
+// the canonical copy. Fields that are excluded on purpose — Version *is*
+// the checksum, CreatedUnix is wall-clock provenance — are annotated in
+// place with //collsel:checksum <why>.
+package checksumfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"collsel/internal/analysis/annotation"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "checksumfield",
+	Doc:      "every exported field of the checksummed artifact structs must be reachable from the checksum computation or annotated",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	scopeFlag string
+	typesFlag string
+	funcFlag  string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&scopeFlag, "scope", "internal/store",
+		"comma-separated package-path suffixes holding the checksummed structs")
+	Analyzer.Flags.StringVar(&typesFlag, "types", "Table,Cell",
+		"comma-separated struct type names whose exported fields must be checksummed")
+	Analyzer.Flags.StringVar(&funcFlag, "func", "checksum",
+		"name of the function computing the checksum (assignments to target-struct fields inside it exclude those fields)")
+	annotation.RegisterAuditFlag(&Analyzer.Flags)
+}
+
+func inScope(path string) bool {
+	for _, s := range strings.Split(scopeFlag, ",") {
+		s = strings.TrimSpace(s)
+		if s != "" && (path == s || strings.HasSuffix(path, "/"+s)) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	targets := make(map[string]bool)
+	for _, t := range strings.Split(typesFlag, ",") {
+		targets[strings.TrimSpace(t)] = true
+	}
+
+	anns := make(map[*token.File]*annotation.File)
+	skip := make(map[*token.File]bool)
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if strings.HasSuffix(tf.Name(), "_test.go") {
+			skip[tf] = true
+			continue
+		}
+		anns[tf] = annotation.Collect(pass.Fset, f)
+	}
+
+	// Pass 1: fields the checksum function zeroes on the canon copy.
+	// `canon.Version = ""` inside checksum() excludes Version.
+	cleared := make(map[string]map[string]bool) // type name -> field -> true
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		d := n.(*ast.FuncDecl)
+		if d.Name.Name != funcFlag || d.Body == nil || skip[pass.Fset.File(d.Pos())] {
+			return
+		}
+		ast.Inspect(d.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				tn := namedTypeName(pass.TypesInfo.TypeOf(sel.X))
+				if !targets[tn] {
+					continue
+				}
+				if cleared[tn] == nil {
+					cleared[tn] = make(map[string]bool)
+				}
+				cleared[tn][sel.Sel.Name] = true
+			}
+			return true
+		})
+	})
+
+	// Pass 2: audit every exported field of the target structs.
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		tf := pass.Fset.File(n.Pos())
+		if skip[tf] || !targets[ts.Name.Name] {
+			return
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		ann := anns[tf]
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				excluded := ""
+				switch {
+				case jsonSkipped(field):
+					excluded = `json:"-" keeps it out of the canonical marshal`
+				case cleared[ts.Name.Name][name.Name]:
+					excluded = "the " + funcFlag + " function zeroes it on the canon copy"
+				default:
+					continue
+				}
+				if ann.Suppressed(pass, "checksum", field.Pos(), field.End()) {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"exported field %s.%s is unreachable from the artifact checksum (%s): a silent-drift channel — include it, or annotate //collsel:checksum <why it is provenance-exempt>",
+					ts.Name.Name, name.Name, excluded)
+			}
+		}
+	})
+	return nil, nil
+}
+
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(interface{ Obj() *types.TypeName }); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func jsonSkipped(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	return ok && (tag == "-" || strings.HasPrefix(tag, "-,"))
+}

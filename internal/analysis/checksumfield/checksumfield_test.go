@@ -1,0 +1,24 @@
+package checksumfield_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/checksumfield"
+)
+
+// setFlag repoints one analyzer flag at a test value, restoring the
+// default afterwards.
+func setFlag(t *testing.T, name, value string) {
+	t.Helper()
+	old := checksumfield.Analyzer.Flags.Lookup(name).Value.String()
+	if err := checksumfield.Analyzer.Flags.Set(name, value); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { checksumfield.Analyzer.Flags.Set(name, old) })
+}
+
+func TestChecksumField(t *testing.T) {
+	setFlag(t, "scope", "checkcheck")
+	analysistesting.Run(t, "testdata", checksumfield.Analyzer, "checkcheck")
+}

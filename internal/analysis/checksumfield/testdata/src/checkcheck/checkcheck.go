@@ -1,0 +1,59 @@
+// Package checkcheck models the store artifact: a checksummed Table whose
+// envelope must cover every exported field. The expectation comments are
+// the analyzer's contract.
+package checkcheck
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+type Table struct {
+	// Covered fields: marshaled, never zeroed on the canon copy. A newly
+	// added field lands here by default and is clean — it only gets
+	// flagged once something excludes it from the checksum.
+	Machine string
+	Factor  float64
+	Cells   []Cell
+
+	//collsel:checksum Version IS the checksum; covering it would make the hash self-referential
+	Version string
+
+	// A synthetic field the checksum function zeroes without an in-place
+	// justification: exactly the drift the analyzer exists to catch.
+	CreatedUnix int64 // want `exported field Table.CreatedUnix is unreachable from the artifact checksum \(the checksum function zeroes it on the canon copy\)`
+
+	// json:"-" drops the field from the canonical marshal entirely.
+	Debug string `json:"-"` // want `exported field Table.Debug is unreachable from the artifact checksum \(json:"-" keeps it out of the canonical marshal\)`
+
+	// An unjustified directive guards nothing.
+	//collsel:checksum
+	Scratch string `json:"-"` // want `exported field Table.Scratch is unreachable from the artifact checksum`
+
+	// Unexported fields never reach json.Marshal and are never audited.
+	dirty bool
+}
+
+type Cell struct {
+	MsgBytes int
+	Winner   string
+	Hint     string `json:"-"` // want `exported field Cell.Hint is unreachable from the artifact checksum`
+}
+
+func checksum(t Table) string {
+	canon := t
+	canon.Version = ""
+	// Assignments inside nested literals are still exclusions: the walk
+	// covers the whole checksum body.
+	func() { canon.CreatedUnix = 0 }()
+	b, _ := json.Marshal(canon)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Clearing a target-struct field anywhere else does not exclude it: only
+// the checksum function defines the envelope.
+func reset(t *Table) {
+	t.Machine = ""
+}

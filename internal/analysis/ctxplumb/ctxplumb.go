@@ -44,6 +44,8 @@ var Analyzer = &analysis.Analyzer{
 	Run:      run,
 }
 
+func init() { annotation.RegisterAuditFlag(&Analyzer.Flags) }
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
@@ -138,7 +140,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, ann *annotation.File) {
 	sig := fn.Type().(*types.Signature)
 
 	if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
-		if ann.Guarded("ctx", call.Pos()) == nil {
+		if !ann.Suppressed(pass, "ctx", call.Pos(), call.End()) {
 			pass.Reportf(call.Pos(),
 				"context.%s inside a function that already receives a context (ctx or *http.Request): derive from it so deadlines and cancellation propagate (//collsel:ctx <why> to detach intentionally)",
 				fn.Name())
@@ -158,7 +160,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, ann *annotation.File) {
 	if ssig.Params().Len() == 0 || !isContextType(ssig.Params().At(0).Type()) {
 		return
 	}
-	if ann.Guarded("ctx", call.Pos()) == nil {
+	if !ann.Suppressed(pass, "ctx", call.Pos(), call.End()) {
 		pass.Reportf(call.Pos(),
 			"%s.%s drops the caller's context: call %s with the received ctx instead (//collsel:ctx <why> to allow)",
 			fn.Pkg().Name(), fn.Name(), sibling.Name())

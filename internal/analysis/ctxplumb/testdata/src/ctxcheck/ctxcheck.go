@@ -66,3 +66,35 @@ func handler(w io.Writer, r *http.Request) {
 	_ = context.Background() // want "context.Background inside a function that already receives a context"
 	_ = buildCtx(r.Context())
 }
+
+// --- nested functions and method values ---
+
+type svc struct{}
+
+// Methods are plain functions to the analyzer: a ctx-receiving method may
+// not root a fresh context either.
+func (s *svc) run(ctx context.Context) {
+	_ = context.Background() // want "context.Background inside a function that already receives a context"
+}
+
+// The enclosing-context rule sees through arbitrarily deep literals.
+func deeplyNested(ctx context.Context) {
+	outer := func() {
+		inner := func() {
+			_ = context.Background() // want "context.Background inside a function that already receives a context"
+			build()                  // want `ctxcheck.build drops the caller's context: call buildCtx`
+		}
+		inner()
+	}
+	outer()
+}
+
+// A call through a function or method value does not resolve to a callee,
+// so the Ctx-sibling rule cannot fire: keep indirections like these out of
+// request paths, the analyzer only vouches for direct calls.
+func methodValue(ctx context.Context, s *svc) {
+	f := build
+	_ = f() // unresolvable: deliberately unchecked
+	g := s.run
+	g(ctx)
+}

@@ -90,6 +90,7 @@ var scopeFlag string
 func init() {
 	Analyzer.Flags.StringVar(&scopeFlag, "scope", strings.Join(DefaultScope, ","),
 		"comma-separated package-path suffixes the determinism rules apply to")
+	annotation.RegisterAuditFlag(&Analyzer.Flags)
 }
 
 func inScope(path string) bool {
@@ -178,7 +179,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, ann *annotation.File) {
 	case "time":
 		switch fn.Name() {
 		case "Now", "Since", "Until":
-			if ann.Guarded("wallclock", call.Pos()) == nil {
+			if !ann.Suppressed(pass, "wallclock", call.Pos(), call.End()) {
 				pass.Reportf(call.Pos(),
 					"wall clock in deterministic code: time.%s makes results irreproducible; derive timing from virtual time or inject a clock (//collsel:wallclock <why> to allow)",
 					fn.Name())
@@ -205,7 +206,7 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, ann *annotation.File,
 	if _, ok := t.Underlying().(*types.Map); !ok {
 		return
 	}
-	if ann.Guarded("unordered", rs.Pos()) != nil {
+	if ann.Suppressed(pass, "unordered", rs.Pos(), rs.End()) {
 		return
 	}
 

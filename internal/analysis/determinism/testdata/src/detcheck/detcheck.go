@@ -111,3 +111,32 @@ func mapMembership(m map[string]int) int {
 	}
 	return n
 }
+
+// --- nested functions and method values ---
+
+type engine struct{}
+
+// Methods are plain functions to the analyzer.
+func (e *engine) stamp() int64 {
+	return time.Now().Unix() // want "wall clock in deterministic code: time.Now"
+}
+
+// Violations inside nested literals are caught at the call site.
+func nestedClock() func() int64 {
+	return func() int64 {
+		inner := func() int64 {
+			return time.Now().Unix() // want "wall clock in deterministic code: time.Now"
+		}
+		return inner()
+	}
+}
+
+// A call through a function value does not resolve to a callee, so the
+// clock and RNG rules cannot fire: the analyzer vouches for direct calls
+// only, so keep indirections like these out of deterministic code.
+func valueIndirection() int {
+	now := time.Now
+	_ = now()
+	pick := rand.Intn
+	return pick(10)
+}

@@ -31,6 +31,8 @@ var Analyzer = &analysis.Analyzer{
 	Run:      run,
 }
 
+func init() { annotation.RegisterAuditFlag(&Analyzer.Flags) }
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
@@ -51,7 +53,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return
 		}
 		g := n.(*ast.GoStmt)
-		if anns[tf].Guarded("goroutine", g.Pos()) != nil {
+		// The full statement extent matters here: a `go func() { ... }()`
+		// spanning many lines may carry its annotation on the closing `}()`.
+		if anns[tf].Suppressed(pass, "goroutine", g.Pos(), g.End()) {
 			return
 		}
 		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok && joinsWaitGroup(pass, lit.Body) {

@@ -37,4 +37,51 @@ func unjustified() {
 	go work() // want "untracked goroutine"
 }
 
+// --- multi-line literals and the trailing-annotation rule ---
+
+// A directive on the closing "}()" line guards the whole go statement: the
+// statement's range ends there, and end-line annotations are idiomatic for
+// multi-line literals whose first line is taken by the signature.
+func trailingAnnotated() {
+	go func() {
+		work()
+		work()
+	}() //collsel:goroutine supervised by the owner's retry loop, joined on shutdown
+}
+
+// A directive strictly inside the literal's body guards nothing: it is
+// neither on the statement's first line, the line above, nor the last.
+func innerDirective() {
+	go func() { // want "untracked goroutine"
+		//collsel:goroutine a body comment does not annotate the spawn site
+		work()
+	}()
+}
+
+// --- nested functions and method values ---
+
+// Spawning from a nested literal is still a spawn.
+func nestedSpawn() {
+	launch := func() {
+		go work() // want "untracked goroutine"
+	}
+	launch()
+}
+
+type svc struct{}
+
+func (s *svc) work() {}
+
+// go with a method value or bound method is tracked like any other.
+func methodSpawn(s *svc) {
+	go s.work() // want "untracked goroutine"
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.work()
+	}()
+	wg.Wait()
+}
+
 func work() {}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistesting.Run(t, "testdata", lockhold.Analyzer, "lockcheck")
+}

@@ -1,0 +1,170 @@
+// Package lockcheck seeds hold-across-block violations; the expectation
+// comments are the analyzer's contract.
+package lockcheck
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	val int
+}
+
+// --- direct blocking ops inside a critical section ---
+
+func (b *box) sendUnderLock() {
+	b.mu.Lock()
+	b.ch <- 1 // want "b.mu held across a channel send"
+	b.mu.Unlock()
+}
+
+func (b *box) recvUnderLock() {
+	b.mu.Lock()
+	b.val = <-b.ch // want "b.mu held across a channel receive"
+	b.mu.Unlock()
+}
+
+func (b *box) sleepUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "b.mu held across time.Sleep"
+	b.mu.Unlock()
+}
+
+func (b *box) selectUnderLock() {
+	b.mu.Lock()
+	select { // want "b.mu held across a select with no default"
+	case v := <-b.ch:
+		b.val = v
+	case b.ch <- 0:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) rangeUnderLock() {
+	b.mu.Lock()
+	for v := range b.ch { // want "b.mu held across a range over a channel"
+		b.val += v
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) httpUnderLock(c *http.Client, req *http.Request) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.Do(req) // want `b.mu held across an http round-trip \(http.Do\)`
+}
+
+// --- non-blocking constructs stay clean ---
+
+func (b *box) selectWithDefault() {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch:
+		b.val = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) unlockFirst() {
+	b.mu.Lock()
+	b.val++
+	b.mu.Unlock()
+	b.ch <- b.val // lock released: fine
+}
+
+func (b *box) readLockPair() {
+	b.rw.RLock()
+	v := b.val
+	b.rw.RUnlock()
+	b.ch <- v
+}
+
+// A goroutine spawned under the lock blocks in its own frame, not ours.
+func (b *box) spawnUnderLock() {
+	b.mu.Lock()
+	go func() {
+		b.ch <- 1
+	}()
+	b.mu.Unlock()
+}
+
+// A function literal merely defined under the lock runs later.
+func (b *box) defineUnderLock() func() {
+	b.mu.Lock()
+	f := func() { b.ch <- 1 }
+	b.mu.Unlock()
+	return f
+}
+
+// ...but an immediately-invoked literal runs right here, under the lock.
+func (b *box) invokeUnderLock() {
+	b.mu.Lock()
+	func() {
+		b.ch <- 1 // want "b.mu held across a channel send"
+	}()
+	b.mu.Unlock()
+}
+
+// --- interprocedural: the may-block fact propagates through helpers ---
+
+func napDirect() {
+	time.Sleep(time.Millisecond)
+}
+
+func napNested() {
+	napDirect()
+}
+
+func (b *box) transitiveUnderLock() {
+	b.mu.Lock()
+	napNested() // want `b.mu held across a call to napNested \(may block: time.Sleep\)`
+	b.mu.Unlock()
+}
+
+// A deferred unlock holds the lock to the end of the function.
+func (b *box) deferredUnlock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.val++
+	napDirect() // want `b.mu held across a call to napDirect \(may block: time.Sleep\)`
+}
+
+// Distinct receivers do not close each other's regions.
+func (b *box) twoLocks(other *box) {
+	b.mu.Lock()
+	other.mu.Lock()
+	other.mu.Unlock()
+	b.ch <- 1 // want "b.mu held across a channel send"
+	b.mu.Unlock()
+}
+
+// --- escape hatch ---
+
+func (b *box) handoffJustified() {
+	b.mu.Lock()
+	//collsel:lockhold handoff protocol: the receiver takes ownership of the lock by design
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+func (b *box) handoffUnjustified() {
+	b.mu.Lock()
+	//collsel:lockhold
+	b.ch <- 1 // want "b.mu held across a channel send"
+	b.mu.Unlock()
+}
+
+// A wait in a nested statement is still inside the region.
+func (b *box) nestedWait(wg *sync.WaitGroup, cond bool) {
+	b.mu.Lock()
+	if cond {
+		wg.Wait() // want `b.mu held across \(sync\).WaitGroup.Wait`
+	}
+	b.mu.Unlock()
+}

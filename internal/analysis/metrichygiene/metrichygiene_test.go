@@ -1,0 +1,12 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/metrichygiene"
+)
+
+func TestMetricHygiene(t *testing.T) {
+	analysistesting.RunWithSuggestedFixes(t, "testdata", metrichygiene.Analyzer, "metriccheck")
+}

@@ -1,0 +1,24 @@
+package statuscontract_test
+
+import (
+	"testing"
+
+	"collsel/internal/analysis/analysistesting"
+	"collsel/internal/analysis/statuscontract"
+)
+
+// setFlag repoints one analyzer flag at a test value, restoring the
+// default afterwards.
+func setFlag(t *testing.T, name, value string) {
+	t.Helper()
+	old := statuscontract.Analyzer.Flags.Lookup(name).Value.String()
+	if err := statuscontract.Analyzer.Flags.Set(name, value); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { statuscontract.Analyzer.Flags.Set(name, old) })
+}
+
+func TestStatusContract(t *testing.T) {
+	setFlag(t, "scope", "statuscheck")
+	analysistesting.Run(t, "testdata", statuscontract.Analyzer, "statuscheck")
+}

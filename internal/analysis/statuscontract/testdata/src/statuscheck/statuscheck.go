@@ -1,0 +1,75 @@
+// Package statuscheck seeds status-contract violations; the expectation
+// comments are the analyzer's contract.
+package statuscheck
+
+import "net/http"
+
+type server struct{}
+
+// The writer helpers themselves may touch the raw response; everything
+// routed through them is metered.
+func (s *server) httpError(w http.ResponseWriter, endpoint string, code int, msg string) {
+	w.WriteHeader(code)
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, endpoint string, code int, v interface{}) {
+	w.WriteHeader(code)
+}
+
+// --- in-contract calls stay clean ---
+
+func (s *server) handleSelect(w http.ResponseWriter) {
+	s.httpError(w, "select", http.StatusBadRequest, "bad body")
+	s.writeJSON(w, "select", http.StatusOK, nil)
+}
+
+// --- contract violations ---
+
+func (s *server) handleBad(w http.ResponseWriter, ep string, code int) {
+	s.httpError(w, "healthz", http.StatusTeapot, "teapot") // want `status 418 is outside endpoint "healthz"'s contract \(200/503\)`
+	s.writeJSON(w, "debug", http.StatusOK, nil)            // want `endpoint "debug" has no declared status contract`
+	s.httpError(w, ep, http.StatusOK, "dynamic")           // want `endpoint passed to httpError must be a string literal`
+	s.writeJSON(w, "select", code, nil)                    // want `non-constant status code for endpoint "select"`
+}
+
+// --- raw writes bypass the metered helpers ---
+
+func (s *server) handleRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)       // want `raw WriteHeader bypasses the metered writer helpers`
+	http.Error(w, "boom", 500)         // want `raw http.Error bypasses the metered writer helpers`
+	http.NotFound(w, r)                // want `raw http.NotFound bypasses the metered writer helpers`
+	http.Redirect(w, r, "/other", 302) // want `raw http.Redirect bypasses the metered writer helpers`
+}
+
+// A nested function literal is still outside the writer helpers.
+func (s *server) handleNested(w http.ResponseWriter) {
+	respond := func(code int) {
+		w.WriteHeader(code) // want `raw WriteHeader bypasses the metered writer helpers`
+	}
+	respond(http.StatusOK)
+}
+
+// A call through a method value is not resolvable to a writer helper, so
+// its arguments go unchecked: keep method values out of handler code.
+func (s *server) handleMethodValue(w http.ResponseWriter) {
+	f := s.writeJSON
+	f(w, "nonexistent", 999, nil)
+}
+
+// --- escape hatches ---
+
+// A dynamic code that is provably contract-bounded carries a justification.
+func (s *server) handleHealth(w http.ResponseWriter, healthy bool) {
+	code := http.StatusOK
+	if !healthy {
+		code = http.StatusServiceUnavailable
+	}
+	//collsel:status code is 200 or 503 by construction, both in the healthz contract
+	s.writeJSON(w, "healthz", code, nil)
+}
+
+// An unjustified directive guards nothing.
+func (s *server) handleHealthBare(w http.ResponseWriter, code int) {
+	//collsel:status
+	s.writeJSON(w, "healthz", code, nil) // want `non-constant status code for endpoint "healthz"`
+}

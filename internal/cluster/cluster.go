@@ -134,7 +134,9 @@ func New(cfg Config) (*Cluster, error) {
 	c.health = NewHealth(others, func(ctx context.Context, peer string) error {
 		return c.tr.Ping(ctx, peer)
 	}, cfg.Health)
-	//collsel:ctx intentional detachment: the cluster's background loops outlive any request; Close cancels them
+	// The cluster's background loops outlive any request; Close cancels
+	// them. (No ctxplumb suppression needed: the constructor receives no
+	// context, so a fresh root is legitimate here.)
 	c.baseCtx, c.cancel = context.WithCancel(context.Background())
 	return c, nil
 }

@@ -84,7 +84,9 @@ func (s *Server) refineAsync(t *store.Table, c coll.Collective, procs, msgBytes 
 			delete(s.refining, key)
 			s.refineMu.Unlock()
 		}()
-		//collsel:ctx intentional detachment: the refinement outlives the request that triggered it; its own deadline is applied below
+		// The refinement outlives the request that triggered it; its own
+		// deadline is applied below. (No ctxplumb suppression needed: the
+		// requester's context is deliberately not passed into this frame.)
 		ctx := context.Background()
 		if s.cfg.SelectTimeout > 0 {
 			var cancel context.CancelFunc

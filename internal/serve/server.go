@@ -692,6 +692,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Cluster.Stats()
 		resp.Cluster = &st
 	}
+	//collsel:status code comes from healthState, which returns only 200 (healthy/degraded) or 503 (draining/no table) — both in the healthz contract
 	s.writeJSON(w, "healthz", code, resp)
 }
 
@@ -772,6 +773,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		renderCluster(&b, s.metrics, s.cfg.Cluster.Stats())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//collsel:status the exposition is plain text, not JSON, so writeJSON does not apply; the scrape is metered by the explicit countRequest below
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, b.String())
 	s.metrics.countRequest("metrics", http.StatusOK)

@@ -89,10 +89,12 @@ type Table struct {
 	// Version is the content hash of the table payload (the checksum's
 	// leading hex digits); two tables with equal versions answer every
 	// lookup identically.
+	//collsel:checksum Version IS the checksum — covering it would make the hash self-referential
 	Version string `json:"version,omitempty"`
 	// CreatedUnix is the artifact build time (Unix seconds). It is excluded
 	// from the checksum so that rebuilding identical content yields an
 	// identical version.
+	//collsel:checksum build wall-clock is provenance metadata; covering it would give byte-identical content a different version per rebuild
 	CreatedUnix int64 `json:"created_unix,omitempty"`
 
 	// Machine and PlatformFingerprint tie the table to the machine model it
